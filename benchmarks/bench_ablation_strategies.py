@@ -1,0 +1,87 @@
+"""Experiment E11 -- ablation: instantiation strategies (Section 3.2).
+
+Variable instantiation (the formal system) vs eliminator instantiation
+(supported by the paper's Links implementation).  The bench verifies the
+qualitative claims: eliminator instantiation is a conservative extension
+on the corpus and additionally types bad5/bad6 and `(head ids) 42`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.infer import ELIMINATOR, VARIABLE, infer_type, typecheck
+from repro.corpus.compare import equivalent_types
+from repro.corpus.examples import BAD_EXAMPLES, EXAMPLES
+from repro.errors import FreezeMLError
+from repro.syntax.parser import parse_term
+from repro.corpus.signatures import prelude
+
+PRELUDE = prelude()
+
+EXTRA_PROGRAMS = {
+    "bad5": "let f = fun x -> x in ~f 42",
+    "bad6": "let f = fun x -> x in id ~f 42",
+    "head-ids-42": "(head ids) 42",
+    "frozen-app": "~choose 1 2",
+}
+
+
+def test_regenerate_strategy_comparison(capsys):
+    rows = []
+    for name, source in EXTRA_PROGRAMS.items():
+        term = parse_term(source)
+        var_ok = typecheck(term, PRELUDE, strategy=VARIABLE)
+        elim_ok = typecheck(term, PRELUDE, strategy=ELIMINATOR)
+        rows.append((name, source, var_ok, elim_ok))
+
+    with capsys.disabled():
+        print("\n== E11: instantiation strategies ==")
+        print(f"  {'program':14s}{'variable':>10s}{'eliminator':>12s}")
+        for name, _source, var_ok, elim_ok in rows:
+            print(f"  {name:14s}{str(var_ok):>10s}{str(elim_ok):>12s}")
+
+    by_name = {name: (v, el) for name, _s, v, el in rows}
+    # Section 3.2's claims:
+    assert by_name["bad5"] == (False, True)
+    assert by_name["bad6"] == (False, True)
+    assert by_name["head-ids-42"] == (False, True)
+    assert by_name["frozen-app"] == (False, True)
+
+
+def test_eliminator_is_conservative_on_corpus():
+    for example in EXAMPLES:
+        if example.flag == "no-vr":
+            continue
+        term, env = example.term(), example.env()
+        try:
+            expected = infer_type(term, env, strategy=VARIABLE, normalise=False)
+        except FreezeMLError:
+            continue
+        actual = infer_type(term, env, strategy=ELIMINATOR, normalise=False)
+        assert equivalent_types(actual, expected), example.id
+
+
+def test_bad1_to_bad4_rejected_under_both_strategies():
+    for example in BAD_EXAMPLES:
+        if example.id in ("bad5", "bad6"):
+            continue
+        for strategy in (VARIABLE, ELIMINATOR):
+            assert not typecheck(
+                example.term(), example.env(), strategy=strategy
+            ), (example.id, strategy)
+
+
+@pytest.mark.benchmark(group="ablation-strategy")
+@pytest.mark.parametrize("strategy", (VARIABLE, ELIMINATOR))
+def test_bench_strategy_overhead(benchmark, strategy):
+    inputs = [(x.term(), x.env()) for x in EXAMPLES if x.flag != "no-vr"]
+
+    def sweep():
+        count = 0
+        for term, env in inputs:
+            if typecheck(term, env, strategy=strategy):
+                count += 1
+        return count
+
+    assert benchmark(sweep) >= 40

@@ -1,0 +1,88 @@
+"""Experiment E10 -- ablation: the value restriction ("pure FreezeML").
+
+Section 3.2 sketches a FreezeML without the value restriction; example
+F10 (Figure 1, dagger) typechecks only there.  This bench runs the whole
+corpus in both modes and reports the diff: dropping the restriction must
+(a) keep every well-typed example well typed at the same type, and
+(b) additionally accept exactly the dagger examples.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.infer import infer_type, typecheck
+from repro.corpus.compare import equivalent_types
+from repro.corpus.examples import EXAMPLES
+from repro.errors import FreezeMLError
+
+
+def corpus_outcomes(value_restriction: bool):
+    outcomes = {}
+    for example in EXAMPLES:
+        try:
+            ty = infer_type(
+                example.term(), example.env(), value_restriction=value_restriction
+            )
+            outcomes[example.id] = ("ok", ty)
+        except FreezeMLError:
+            outcomes[example.id] = ("fail", None)
+    return outcomes
+
+
+def test_regenerate_ablation(capsys):
+    with_vr = corpus_outcomes(True)
+    without_vr = corpus_outcomes(False)
+
+    newly_accepted = [
+        k for k in with_vr
+        if with_vr[k][0] == "fail" and without_vr[k][0] == "ok"
+    ]
+    lost = [
+        k for k in with_vr
+        if with_vr[k][0] == "ok" and without_vr[k][0] == "fail"
+    ]
+    changed_type = [
+        k for k in with_vr
+        if with_vr[k][0] == "ok" == without_vr[k][0]
+        and not equivalent_types(with_vr[k][1], without_vr[k][1])
+    ]
+
+    with capsys.disabled():
+        print("\n== E10: value-restriction ablation over Figure 1 ==")
+        print(f"  newly accepted without VR : {newly_accepted}")
+        print(f"  lost without VR           : {lost}")
+        print(f"  type changed              : {changed_type}")
+
+    # Dropping the VR is a pure extension on this corpus...
+    assert lost == []
+    # ...and F10 is exactly the paper's dagger witness.
+    assert "F10" in newly_accepted
+    # A 'term-mode' F1-F4 definition example may also change shape, but no
+    # previously-inferred type may change:
+    assert changed_type == []
+
+
+def test_f10_types_as_paper_reports():
+    from repro.corpus.examples import example_by_id
+    from repro.syntax.parser import parse_type
+
+    f10 = example_by_id("F10")
+    ty = infer_type(f10.term(), f10.env(), value_restriction=False)
+    assert equivalent_types(ty, parse_type(f10.expected))
+
+
+@pytest.mark.benchmark(group="ablation-vr")
+@pytest.mark.parametrize("vr", (True, False), ids=("with-vr", "pure"))
+def test_bench_corpus_under_mode(benchmark, vr):
+    inputs = [(x.term(), x.env()) for x in EXAMPLES]
+
+    def sweep():
+        accepted = 0
+        for term, env in inputs:
+            if typecheck(term, env, value_restriction=vr):
+                accepted += 1
+        return accepted
+
+    accepted = benchmark(sweep)
+    assert accepted >= 44

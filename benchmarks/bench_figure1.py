@@ -1,0 +1,74 @@
+"""Experiment E1/E2 -- regenerate Figure 1 (and the Figure 2 definitions).
+
+Prints the same rows the paper's Figure 1 reports: each example with its
+inferred type or ✕, asserting agreement with the paper for every row.
+The benchmark times a full corpus inference sweep (49 programs), which
+is the paper's entire "evaluation workload".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.infer import infer_definition, infer_type
+from repro.corpus.compare import equivalent_types
+from repro.corpus.examples import EXAMPLES
+from repro.errors import FreezeMLError
+from repro.syntax.pretty import pretty_type
+
+
+def figure1_rows() -> list[tuple[str, str, str, bool]]:
+    """(id, source, rendered outcome, matches-paper) for every row."""
+    rows = []
+    for example in EXAMPLES:
+        options = {"value_restriction": False} if example.flag == "no-vr" else {}
+        try:
+            if example.mode == "definition":
+                ty = infer_definition("it", example.term(), example.env(), **options)
+            else:
+                ty = infer_type(example.term(), example.env(), **options)
+            outcome = pretty_type(ty)
+            expected = example.expected_type()
+            agrees = expected is not None and equivalent_types(ty, expected)
+        except FreezeMLError:
+            outcome = "✕"
+            agrees = example.expected is None
+        rows.append((example.id, example.source, outcome, agrees))
+    return rows
+
+
+def test_regenerate_figure1(capsys):
+    rows = figure1_rows()
+    with capsys.disabled():
+        print("\n== Figure 1: FreezeML examples (inferred vs paper) ==")
+        section = ""
+        for example_id, source, outcome, agrees in rows:
+            if example_id[0] != section:
+                section = example_id[0]
+                print(f"-- section {section} --")
+            mark = "ok" if agrees else "MISMATCH"
+            print(f"  {example_id:6s} {source[:52]:52s} : {outcome:44s} [{mark}]")
+        good = sum(1 for *_rest, agrees in rows if agrees)
+        print(f"  => {good}/{len(rows)} rows match the paper")
+    assert all(agrees for *_rest, agrees in rows)
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_bench_corpus_inference(benchmark):
+    """Time a full Figure 1 inference sweep."""
+    terms = [
+        (x.term(), x.env(), x.flag == "no-vr") for x in EXAMPLES
+    ]
+
+    def sweep():
+        count = 0
+        for term, env, no_vr in terms:
+            try:
+                infer_type(term, env, value_restriction=not no_vr)
+                count += 1
+            except FreezeMLError:
+                pass
+        return count
+
+    result = benchmark(sweep)
+    assert result >= 40

@@ -1,0 +1,54 @@
+"""Experiment E2 -- regenerate Figure 2 (the prelude signature table).
+
+Prints every Figure 2 signature, verifies each is well-kinded, and
+re-derives from first principles the four entries that Figure 1's F
+section defines in FreezeML itself (id, ids, auto, auto').
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.infer import infer_definition
+from repro.core.kinds import Kind, KindEnv
+from repro.core.types import alpha_equal
+from repro.core.wellformed import check_kind
+from repro.corpus.signatures import prelude, signature_sources
+from repro.syntax.parser import parse_term, parse_type
+
+DERIVATIONS = {
+    "id": "$(fun x -> x)",
+    "ids": "[~id]",
+    "auto": "fun (x : forall a. a -> a) -> x ~x",
+    "auto'": "fun (x : forall a. a -> a) -> x x",
+}
+
+
+def test_regenerate_figure2(capsys):
+    env = prelude()
+    with capsys.disabled():
+        print("\n== Figure 2: prelude signatures ==")
+        for name, source in signature_sources().items():
+            ty = parse_type(source)
+            check_kind(KindEnv.empty(), ty, Kind.POLY)
+            derived = ""
+            if name in DERIVATIONS:
+                redone = infer_definition(name, parse_term(DERIVATIONS[name]), env)
+                ok = alpha_equal(redone, ty)
+                derived = f"  [re-derived from {DERIVATIONS[name]!r}: "
+                derived += "ok]" if ok else f"MISMATCH {redone}]"
+            print(f"  {name:8s} : {source}{derived}")
+
+
+@pytest.mark.parametrize("name", sorted(DERIVATIONS))
+def test_fsection_definitions_rederive_signatures(name):
+    env = prelude()
+    expected = env.lookup(name)
+    derived = infer_definition(name, parse_term(DERIVATIONS[name]), env)
+    assert alpha_equal(derived, expected), (name, derived, expected)
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_bench_prelude_construction(benchmark):
+    env = benchmark(prelude)
+    assert "runST" in env

@@ -1,0 +1,118 @@
+"""Experiment E12 -- inference cost scaling.
+
+The paper's design claim is that FreezeML stays "close to ML type
+inference": the algorithm is a modest extension of W, not a constraint
+solver.  We quantify it: inference time on synthetic program families
+(let-chains, lambda-nests, application spines) for the FreezeML
+inferencer vs classic Algorithm W on the same (ML-fragment) programs,
+plus the overhead of FreezeML-specific features on polymorphic variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.env import TypeEnv
+from repro.core.infer import infer_type
+from repro.core.terms import App, IntLit, Lam, Let, Var
+from repro.ml.typecheck import ml_infer_type
+from repro.syntax.parser import parse_term
+
+SIZES = (8, 32, 128)
+
+
+def let_chain(depth: int):
+    """let f1 = \\x.x in let f2 = \\x. f1 x in ... fn 0"""
+    body = App(Var(f"f{depth}"), IntLit(0))
+    term = body
+    for i in range(depth, 0, -1):
+        bound = Lam("x", Var("x")) if i == 1 else Lam("x", App(Var(f"f{i-1}"), Var("x")))
+        term = Let(f"f{i}", bound, term)
+    return term
+
+
+def lambda_nest(depth: int):
+    term = Var("x1")
+    for i in range(depth, 0, -1):
+        term = Lam(f"x{i}", term)
+    return term
+
+
+def app_spine(depth: int):
+    """(\\f x. f x) applied depth times."""
+    term = Lam("z", Var("z"))
+    twice = parse_term("fun f x -> f (f x)")
+    for _ in range(depth):
+        term = App(twice, term)
+    return App(term, IntLit(1))
+
+
+def freeze_chain(depth: int):
+    """FreezeML-specific workload: alternating $ and @ around lets."""
+    source = "~id"
+    for _ in range(depth):
+        source = f"$((({source})@))"
+    return parse_term(source)
+
+
+FAMILIES = {
+    "let-chain": let_chain,
+    "lambda-nest": lambda_nest,
+    "app-spine": app_spine,
+}
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.benchmark(group="scaling-freezeml")
+def test_bench_freezeml(benchmark, family, size):
+    term = FAMILIES[family](size)
+    env = TypeEnv()
+    ty = benchmark(lambda: infer_type(term, env))
+    assert ty is not None
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.benchmark(group="scaling-ml")
+def test_bench_plain_ml(benchmark, family, size):
+    term = FAMILIES[family](size)
+    env = TypeEnv()
+    ty = benchmark(lambda: ml_infer_type(term, env))
+    assert ty is not None
+
+
+@pytest.mark.parametrize("size", (4, 8, 16))
+@pytest.mark.benchmark(group="scaling-markers")
+def test_bench_freeze_marker_chain(benchmark, size, env):
+    term = freeze_chain(size)
+    ty = benchmark(lambda: infer_type(term, env))
+    assert ty is not None
+
+
+def test_report_overhead(capsys):
+    """Print the measured FreezeML/ML ratio on the ML fragment."""
+    import time
+
+    with capsys.disabled():
+        print("\n== E12: FreezeML inference overhead vs plain W (ML fragment) ==")
+        print(f"  {'family':14s}{'n':>6s}{'W (ms)':>12s}{'FreezeML (ms)':>16s}{'ratio':>8s}")
+        for family, builder in FAMILIES.items():
+            for size in SIZES:
+                term = builder(size)
+                env = TypeEnv()
+
+                def timeit(fn, reps=3):
+                    best = float("inf")
+                    for _ in range(reps):
+                        start = time.perf_counter()
+                        fn()
+                        best = min(best, time.perf_counter() - start)
+                    return best * 1000
+
+                ml_ms = timeit(lambda: ml_infer_type(term, env))
+                fz_ms = timeit(lambda: infer_type(term, env))
+                ratio = fz_ms / ml_ms if ml_ms else float("inf")
+                print(
+                    f"  {family:14s}{size:>6d}{ml_ms:>12.2f}{fz_ms:>16.2f}{ratio:>8.1f}"
+                )

@@ -1,0 +1,90 @@
+"""Experiment E3 -- regenerate Table 1 (Appendix A).
+
+Rows: annotation regimes; columns: systems.  The FreezeML column is
+measured by running our inferencer over the 32 section A-E examples;
+plain ML and our HMF reimplementation are also measured (extra columns);
+MLF/HML/FPH/GI and the recorded HMF column reproduce the literature data
+the paper tabulates (see repro.baselines.verdicts for provenance).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.hmf import hmf_typecheck
+from repro.baselines.ml_w import ml_baseline_typecheck
+from repro.baselines.verdicts import (
+    REGIMES,
+    SECTION_AE_IDS,
+    TABLE1_RECORDED,
+    UNANNOTATED_SOURCES,
+)
+from repro.core.infer import typecheck
+from repro.corpus.examples import EXAMPLES
+from repro.syntax.parser import parse_term
+
+
+def _variants(base_id: str):
+    return [
+        x
+        for x in EXAMPLES
+        if (x.id == base_id or x.id == base_id + "*") and x.flag != "no-vr"
+    ]
+
+
+def measure(checker, regime: str) -> list[str]:
+    """Failure list for a measured system under a regime."""
+    failures = []
+    for base_id in SECTION_AE_IDS:
+        variants = _variants(base_id)
+        if regime == "nothing" and base_id in UNANNOTATED_SOURCES:
+            ok = checker(parse_term(UNANNOTATED_SOURCES[base_id]), variants[0].env())
+        else:
+            ok = any(checker(v.term(), v.env()) for v in variants)
+        if not ok:
+            failures.append(base_id)
+    return failures
+
+
+def test_regenerate_table1(capsys):
+    freezeml = {r: measure(typecheck, r) for r in REGIMES}
+    hmf = {r: measure(hmf_typecheck, r) for r in REGIMES}
+    ml = {r: measure(ml_baseline_typecheck, r) for r in REGIMES}
+
+    with capsys.disabled():
+        print("\n== Table 1: examples NOT handled, out of 32 (A-E) ==")
+        systems = list(TABLE1_RECORDED)
+        header = f"  {'Annotate?':10s}" + "".join(f"{s:>10s}" for s in systems)
+        print(header + f"{'HMF*':>10s}{'ML*':>10s}   (*: measured here)")
+        for regime in REGIMES:
+            row = f"  {regime:10s}"
+            for system in systems:
+                count = (
+                    len(freezeml[regime])
+                    if system == "FreezeML"
+                    else TABLE1_RECORDED[system][regime]
+                )
+                row += f"{count:>10d}"
+            row += f"{len(hmf[regime]):>10d}{len(ml[regime]):>10d}"
+            print(row)
+        print(f"  FreezeML measured failures: {freezeml}")
+        print(f"  HMF (our impl) failures:    {hmf}")
+
+    # The FreezeML column is the reproduction target: it must match.
+    for regime in REGIMES:
+        assert len(freezeml[regime]) == TABLE1_RECORDED["FreezeML"][regime]
+    # Qualitative shape: plain ML fails far more than every comparison
+    # system, FreezeML sits strictly between MLF and FPH.
+    for regime in REGIMES:
+        assert len(ml[regime]) > TABLE1_RECORDED["FPH"][regime]
+        assert (
+            TABLE1_RECORDED["MLF"][regime]
+            <= len(freezeml[regime])
+            <= TABLE1_RECORDED["FPH"][regime]
+        )
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_measurement(benchmark):
+    result = benchmark(lambda: {r: len(measure(typecheck, r)) for r in REGIMES})
+    assert result["binders"] == 2

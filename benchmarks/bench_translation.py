@@ -1,0 +1,78 @@
+"""Experiment E6 -- translation round-trips (Theorems 2 and 3) at scale.
+
+Times elaboration FreezeML -> System F over the corpus, the reverse
+translation E[[-]] on generated System F terms, and a full round-trip
+with re-typechecking at each stage (the paper's type-preservation
+theorems run as assertions inside the timed region)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import INT, TVar, alpha_equal
+from repro.corpus.examples import EXAMPLES
+from repro.corpus.signatures import prelude
+from repro.systemf.syntax import FApp, FIntLit, FLam, FTyAbs, FTyApp, FVar
+from repro.systemf.typecheck import typecheck_f
+from repro.translate import elaborate, f_to_freezeml
+
+PRELUDE = prelude()
+WELL_TYPED = [x for x in EXAMPLES if x.well_typed and x.flag != "no-vr"]
+
+
+@pytest.mark.benchmark(group="translate-to-f")
+def test_bench_corpus_elaboration(benchmark):
+    inputs = [(x.term(), x.env()) for x in WELL_TYPED]
+
+    def sweep():
+        total = 0
+        for term, env in inputs:
+            result = elaborate(term, env)
+            f_ty = typecheck_f(result.fterm, env, result.residual)
+            assert alpha_equal(f_ty, result.ty)
+            total += 1
+        return total
+
+    assert benchmark(sweep) == len(WELL_TYPED)
+
+
+def nested_tyabs(depth: int):
+    """/\\a1 ... an. fun (x : an) -> x : deep quantification."""
+    term = FLam("x", TVar(f"a{depth}"), FVar("x"))
+    for i in range(depth, 0, -1):
+        term = FTyAbs(f"a{i}", term)
+    return term
+
+
+@pytest.mark.parametrize("depth", (2, 8, 32))
+@pytest.mark.benchmark(group="translate-from-f")
+def test_bench_f_to_freezeml(benchmark, depth):
+    fterm = nested_tyabs(depth)
+    typecheck_f(fterm, PRELUDE)
+
+    result = benchmark(lambda: f_to_freezeml(fterm, PRELUDE))
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="translate-roundtrip")
+def test_bench_roundtrip(benchmark):
+    poly_id = FTyAbs("a", FLam("x", TVar("a"), FVar("x")))
+    samples = [
+        poly_id,
+        FTyApp(poly_id, INT),
+        FApp(FTyApp(poly_id, INT), FIntLit(3)),
+        FApp(FVar("poly"), FVar("id")),
+    ]
+
+    def roundtrip():
+        count = 0
+        for fterm in samples:
+            original = typecheck_f(fterm, PRELUDE)
+            frozen = f_to_freezeml(fterm, PRELUDE)
+            back = elaborate(frozen, PRELUDE)
+            rechecked = typecheck_f(back.fterm, PRELUDE, back.residual)
+            assert alpha_equal(rechecked, original)
+            count += 1
+        return count
+
+    assert benchmark(roundtrip) == len(samples)

@@ -1,0 +1,91 @@
+"""Experiment E13 -- unification micro-benchmarks.
+
+FreezeML's unifier (Figure 15) extends first-order unification with
+quantifier skolemisation and kind-directed demotion.  These benches
+measure each feature in isolation: deep monomorphic structure, wide
+constructors, quantifier alternation, and demotion pressure (binding a
+MONO variable to a type full of POLY variables).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kinds import Kind, KindEnv
+from repro.core.types import TCon, TForall, TVar, arrow, list_of
+from repro.core.unify import unify
+from tests.helpers import fixed
+
+DELTA = fixed("r")
+
+
+def deep_arrow(depth: int, leaf):
+    ty = leaf
+    for _ in range(depth):
+        ty = arrow(ty, ty)
+    return ty
+
+
+def quantifier_tower(depth: int):
+    body = TVar(f"q{depth}")
+    ty = body
+    for i in range(depth, 0, -1):
+        ty = TForall(f"q{i}", arrow(TVar(f"q{i}"), ty))
+    return ty
+
+
+@pytest.mark.parametrize("depth", (4, 8, 12))
+@pytest.mark.benchmark(group="unify-deep")
+def test_bench_deep_structure(benchmark, depth):
+    theta = KindEnv([("x", Kind.POLY)])
+    left = deep_arrow(depth, TVar("x"))
+    right = deep_arrow(depth, TCon("Int"))
+
+    def work():
+        return unify(DELTA, theta, left, right)
+
+    theta_out, subst = benchmark(work)
+    assert subst(TVar("x")) == TCon("Int")
+
+
+@pytest.mark.parametrize("width", (16, 64, 256))
+@pytest.mark.benchmark(group="unify-wide")
+def test_bench_wide_lists(benchmark, width):
+    theta = KindEnv((f"v{i}", Kind.POLY) for i in range(width))
+    left = TVar("v0")
+    for i in range(1, width):
+        left = list_of(arrow(TVar(f"v{i}"), left))
+    right = TCon("Int")
+    for i in range(1, width):
+        right = list_of(arrow(TCon("Int"), right))
+    theta_out, subst = benchmark(lambda: unify(DELTA, theta, left, right))
+    assert subst(TVar(f"v{width - 1}")) == TCon("Int")
+
+
+@pytest.mark.parametrize("depth", (4, 8, 16))
+@pytest.mark.benchmark(group="unify-quantifiers")
+def test_bench_quantifier_alternation(benchmark, depth):
+    left = quantifier_tower(depth)
+    right = quantifier_tower(depth)
+    theta = KindEnv([(f"q{depth}", Kind.POLY)])
+
+    theta_out, subst = benchmark(lambda: unify(DELTA, theta, left, right))
+    assert subst is not None
+
+
+@pytest.mark.parametrize("width", (8, 32, 128))
+@pytest.mark.benchmark(group="unify-demote")
+def test_bench_demotion_pressure(benchmark, width):
+    """Binding a MONO variable to a type containing many POLY flexibles
+    forces a demotion sweep over the refined environment."""
+    entries = [("m", Kind.MONO)] + [(f"p{i}", Kind.POLY) for i in range(width)]
+    theta = KindEnv(entries)
+    ty = TVar("p0")
+    for i in range(1, width):
+        ty = arrow(TVar(f"p{i}"), ty)
+
+    def work():
+        return unify(DELTA, theta, TVar("m"), ty)
+
+    theta_out, _subst = benchmark(work)
+    assert all(theta_out.kind_of(f"p{i}") is Kind.MONO for i in range(width))

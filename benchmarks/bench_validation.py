@@ -1,0 +1,67 @@
+"""Experiment E8 (cost side) -- the price of re-checking results.
+
+The reproduction validates every inference result three independent
+ways: the declarative instance relation, the Figure 7 derivation
+validator (with its principal re-inference), and the System F
+typechecker over the elaborated image.  These benches measure what each
+layer costs relative to bare inference over the full corpus -- the
+"checkable artifacts are cheap" claim in numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.derivation import derive, validate
+from repro.core.infer import infer_type
+from repro.corpus.examples import EXAMPLES, TEXT_EXAMPLES
+from repro.systemf.typecheck import typecheck_f
+from repro.translate import elaborate
+
+WELL_TYPED = [
+    (x.term(), x.env())
+    for x in EXAMPLES + TEXT_EXAMPLES
+    if x.well_typed and x.flag != "no-vr"
+]
+
+
+@pytest.mark.benchmark(group="validation")
+def test_bench_bare_inference(benchmark):
+    def sweep():
+        for term, env in WELL_TYPED:
+            infer_type(term, env)
+        return len(WELL_TYPED)
+
+    assert benchmark(sweep) == len(WELL_TYPED)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_bench_inference_plus_derivation(benchmark):
+    def sweep():
+        for term, env in WELL_TYPED:
+            derive(term, env)
+        return len(WELL_TYPED)
+
+    assert benchmark(sweep) == len(WELL_TYPED)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_bench_full_figure7_validation(benchmark):
+    def sweep():
+        for term, env in WELL_TYPED:
+            deriv, theta = derive(term, env)
+            validate(deriv, env, theta=theta)
+        return len(WELL_TYPED)
+
+    assert benchmark(sweep) == len(WELL_TYPED)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_bench_systemf_crosscheck(benchmark):
+    def sweep():
+        for term, env in WELL_TYPED:
+            result = elaborate(term, env)
+            typecheck_f(result.fterm, env, result.residual)
+        return len(WELL_TYPED)
+
+    assert benchmark(sweep) == len(WELL_TYPED)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module both *regenerates* a paper artifact (printing the
+same rows the paper reports, asserting the qualitative shape) and
+*times* the underlying computation with pytest-benchmark.
+"""
+
+import sys
+
+import pytest
+
+from repro.corpus.signatures import prelude
+
+# The ASTs and algorithms are recursive (as in the paper's definitions);
+# the synthetic scaling workloads nest types hundreds of levels deep.
+sys.setrecursionlimit(100_000)
+
+
+@pytest.fixture(scope="session")
+def env():
+    return prelude()

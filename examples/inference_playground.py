@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A tour of the design space: errors, strategies and ablations.
+
+Shows (1) the error messages FreezeML inference produces for the paper's
+counterexamples, (2) the eliminator-instantiation strategy the Links
+implementation supports (Section 3.2), (3) "pure FreezeML" without the
+value restriction, and (4) the HMF baseline side by side -- the
+benefit-to-weight trade-off of Section 7 in one screen.
+
+Run:  python examples/inference_playground.py
+"""
+
+from repro import infer_type, parse_term, prelude, pretty_type
+from repro.baselines.hmf import hmf_infer_type
+from repro.errors import FreezeMLError
+
+
+def attempt(source: str, **options) -> str:
+    try:
+        ty = infer_type(parse_term(source), prelude(), **options)
+        return pretty_type(ty)
+    except FreezeMLError as exc:
+        return f"✗ {type(exc).__name__}: {exc}"
+
+
+def attempt_hmf(source: str) -> str:
+    try:
+        return pretty_type(hmf_infer_type(parse_term(source), prelude()))
+    except FreezeMLError as exc:
+        return f"✗ {type(exc).__name__}"
+
+
+def main() -> None:
+    print("== error messages for the Section 2 / 3.2 counterexamples ==")
+    for source in [
+        "fun f -> (f 42, f true)",
+        "fun f -> (poly ~f, (f 42) + 1)",
+        "let f = fun x -> x in ~f 42",
+        "auto id",
+        "choose id auto'",
+    ]:
+        print(f"  {source}")
+        print(f"    -> {attempt(source)}")
+
+    print("\n== eliminator instantiation (the Links strategy) ==")
+    for source in ["let f = fun x -> x in ~f 42", "(head ids) 42"]:
+        default = attempt(source)
+        eliminator = attempt(source, strategy="eliminator")
+        print(f"  {source}")
+        print(f"    variable strategy   -> {default}")
+        print(f"    eliminator strategy -> {eliminator}")
+
+    print("\n== pure FreezeML (no value restriction, Section 3.2) ==")
+    f10 = "choose id (fun (x : forall a. a -> a) -> $(auto' ~x))"
+    print(f"  {f10}")
+    print(f"    with VR    -> {attempt(f10)}")
+    print(f"    without VR -> {attempt(f10, value_restriction=False)}")
+
+    print("\n== FreezeML vs HMF: explicit markers vs heuristics ==")
+    for source in ["poly id", "poly ~id", "id :: ids", "~id :: ids", "single id"]:
+        print(f"  {source:14s} FreezeML: {attempt(source):44s} HMF: {attempt_hmf(source)}")
+
+    print("\ninference_playground ok")
+
+
+if __name__ == "__main__":
+    main()

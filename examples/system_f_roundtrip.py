@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Round-tripping between FreezeML and System F (paper Section 4).
+
+FreezeML is *macro-expressively complete* for System F: there are local,
+type-preserving translations in both directions (Figures 10 and 11).
+This example elaborates FreezeML programs into System F (printing the
+explicit type abstractions/applications that inference reconstructed),
+translates System F terms back, and replays the Appendix D worked
+example.
+
+Run:  python examples/system_f_roundtrip.py
+"""
+
+from repro import parse_term, prelude, pretty_type
+from repro.core.types import INT, TVar
+from repro.systemf.syntax import FApp, FIntLit, FLam, FTyAbs, FTyApp, FVar
+from repro.systemf.typecheck import typecheck_f
+from repro.translate import elaborate, f_to_freezeml
+
+
+def to_system_f(source: str) -> None:
+    env = prelude()
+    result = elaborate(parse_term(source), env)
+    checked = typecheck_f(result.fterm, env, result.residual)
+    print(f"  {source}")
+    print(f"    C[[-]] = {result.fterm}")
+    print(f"    type   = {pretty_type(checked)}  (F-typechecker agrees)")
+
+
+def from_system_f(fterm) -> None:
+    env = prelude()
+    f_ty = typecheck_f(fterm, env)
+    image = f_to_freezeml(fterm, env)
+    print(f"  {fterm} : {pretty_type(f_ty)}")
+    print(f"    E[[-]] = {image}")
+
+
+def main() -> None:
+    print("== FreezeML -> System F (inference elaborates, Figure 11) ==")
+    to_system_f("poly ~id")
+    to_system_f("$(fun x -> x)")
+    to_system_f("(head ids)@ 3")
+    to_system_f("let f = revapp ~id in f poly")
+
+    print("\n== The Appendix D example ==")
+    to_system_f("let app = fun f z -> f z in app ~auto ~id")
+
+    print("\n== System F -> FreezeML (freeze + annotated lets, Figure 10) ==")
+    poly_id = FTyAbs("a", FLam("x", TVar("a"), FVar("x")))
+    from_system_f(poly_id)
+    from_system_f(FTyApp(poly_id, INT))
+    from_system_f(FApp(FTyApp(poly_id, INT), FIntLit(3)))
+    from_system_f(FApp(FVar("poly"), FVar("id")))
+
+    print("\nsystem_f_roundtrip ok")
+
+
+if __name__ == "__main__":
+    main()

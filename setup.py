@@ -1,0 +1,16 @@
+"""Legacy setup shim: the sandbox has no `wheel`, so editable installs go
+through `setup.py develop` rather than PEP 517."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "FreezeML: complete and easy type inference for first-class "
+        "polymorphism (PLDI 2020) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

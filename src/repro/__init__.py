@@ -1,0 +1,66 @@
+"""repro: a full reproduction of *FreezeML: Complete and Easy Type
+Inference for First-Class Polymorphism* (Emrich, Lindley, Stolarek,
+Cheney, Coates; PLDI 2020).
+
+Public API quick reference
+--------------------------
+
+>>> from repro import parse_term, infer_type, prelude, pretty_type
+>>> pretty_type(infer_type(parse_term("poly ~id"), prelude()))
+'Int * Bool'
+
+The main entry points:
+
+* :func:`parse_term` / :func:`parse_type` -- surface syntax.
+* :func:`infer_type` / :func:`infer_definition` / :func:`typecheck` --
+  the Algorithm W extension of Figure 16 (options: ``value_restriction``,
+  ``strategy``).
+* :func:`typeable` -- the declarative relation ``Delta; Gamma |- M : A``.
+* :func:`prelude` -- the Figure 2 type environment.
+* :mod:`repro.translate` -- type-preserving translations to/from System F.
+* :mod:`repro.semantics` -- a CBV evaluator and runtime prelude.
+"""
+
+from .core.check import typeable
+from .core.env import TypeEnv
+from .core.infer import (
+    infer_definition,
+    infer_raw,
+    infer_type,
+    normalise_type,
+    typecheck,
+)
+from .core.kinds import Kind, KindEnv
+from .core.subst import Subst
+from .core import terms
+from .core import types
+from .corpus.signatures import prelude, prelude_with
+from .errors import FreezeMLError, TypeInferenceError, UnificationError
+from .syntax.parser import parse_term, parse_type
+from .syntax.pretty import pretty_term, pretty_type
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FreezeMLError",
+    "Kind",
+    "KindEnv",
+    "Subst",
+    "TypeEnv",
+    "TypeInferenceError",
+    "UnificationError",
+    "infer_definition",
+    "infer_raw",
+    "infer_type",
+    "normalise_type",
+    "parse_term",
+    "parse_type",
+    "prelude",
+    "prelude_with",
+    "pretty_term",
+    "pretty_type",
+    "terms",
+    "typeable",
+    "typecheck",
+    "types",
+]

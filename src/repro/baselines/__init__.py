@@ -1,0 +1,13 @@
+"""Baseline systems for the paper's comparisons (Section 7 / Appendix A)."""
+
+from .ml_w import ml_baseline_typecheck
+from .hmf import hmf_infer_type, hmf_typecheck
+from .verdicts import TABLE1_RECORDED, REGIMES
+
+__all__ = [
+    "ml_baseline_typecheck",
+    "hmf_infer_type",
+    "hmf_typecheck",
+    "TABLE1_RECORDED",
+    "REGIMES",
+]

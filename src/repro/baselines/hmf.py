@@ -1,0 +1,207 @@
+"""HMF (Leijen, ICFP 2008): the nearest System-F-typed rival of FreezeML.
+
+HMF is the system the paper's Related Work singles out as the closest
+design point: plain System F types, Algorithm-W-style inference,
+principal let types, and annotations on polymorphic parameters -- but
+with *implicit* instantiation and generalisation everywhere, steered by
+a minimal-polymorphism heuristic, where FreezeML demands explicit
+``~``/``$``/``@`` markers.
+
+This is a faithful-in-spirit reimplementation of Leijen's core algorithm
+(his Figure 8) on our shared type representation, used as a measured
+baseline for the Table 1 comparison:
+
+* variables keep their polymorphic types (no eager instantiation);
+* every inference rule *generalises* its result over unconstrained
+  flexible variables (canonical quantifier order);
+* application instantiates the function type and then *subsumes* the
+  argument: if the expected parameter type is polymorphic the argument
+  type is matched against its skolemisation, otherwise the argument is
+  instantiated and unified;
+* unannotated lambda parameters start monomorphic but may be forced to a
+  polymorphic type only through annotation -- a rigid-variable escape
+  check rejects the ``fun f -> poly f`` family.
+
+Known deliberate simplifications (documented in EXPERIMENTS.md): unary
+applications only (Leijen's n-ary application rule changes which of two
+minimal types is chosen in some corner cases) and quantifier order is
+kept significant (HMF disregards it; the A-E corpus never depends on it).
+"""
+
+from __future__ import annotations
+
+from ..core.env import TypeEnv
+from ..core.kinds import Kind, KindEnv
+from ..core.subst import Subst
+from ..core.terms import (
+    App,
+    BoolLit,
+    FrozenVar,
+    IntLit,
+    Lam,
+    LamAnn,
+    Let,
+    LetAnn,
+    StrLit,
+    Term,
+    Var,
+)
+from ..core.types import (
+    BOOL,
+    INT,
+    STRING,
+    TCon,
+    TForall,
+    TVar,
+    Type,
+    arrow,
+    forall,
+    ftv,
+    split_foralls,
+)
+from ..core.unify import unify
+from ..errors import TypeInferenceError, UnboundVariableError
+from ..names import NameSupply, is_flexible_name
+
+
+class HMFError(TypeInferenceError):
+    """HMF-specific inference failure."""
+
+
+class HMFInferencer:
+    """Leijen's HMF algorithm over the shared type AST."""
+
+    def __init__(self):
+        self.supply = NameSupply()
+        # All flexible variables are POLY-kinded for HMF's unifier:
+        # impredicative instantiation is allowed whenever unification
+        # forces it; predicativity-by-default comes from `subsume`.
+        self.theta = KindEnv.empty()
+        # Rigid variables: skolems introduced by subsumption.
+        self.delta = KindEnv.empty()
+
+    # -- helpers ---------------------------------------------------------
+
+    def fresh(self) -> str:
+        name = self.supply.fresh_flexible()
+        self.theta = self.theta.extend(name, Kind.POLY)
+        return name
+
+    def fresh_skolem(self) -> str:
+        name = self.supply.fresh_skolem()
+        self.delta = self.delta.extend(name, Kind.MONO)
+        return name
+
+    def instantiate(self, ty: Type) -> Type:
+        names, body = split_foralls(ty)
+        if not names:
+            return ty
+        mapping = {name: TVar(self.fresh()) for name in names}
+        return Subst(mapping)(body)
+
+    def generalise(self, gamma: TypeEnv, ty: Type) -> Type:
+        env_vars = gamma.free_type_vars()
+        names = tuple(
+            v for v in ftv(ty) if is_flexible_name(v) and v not in env_vars
+        )
+        return forall(names, ty)
+
+    def unify(self, left: Type, right: Type) -> Subst:
+        theta_out, subst = unify(self.delta, self.theta, left, right, self.supply)
+        self.theta = theta_out
+        return subst
+
+    def subsume(self, gamma: TypeEnv, expected: Type, actual: Type) -> Subst:
+        """Check ``actual`` is at least as polymorphic as ``expected``.
+
+        Skolemise the expected type's quantifiers, instantiate the actual
+        type, unify, and reject if a skolem escapes into the environment.
+        """
+        skolem_names, expected_body = split_foralls(expected)
+        skolems = {name: TVar(self.fresh_skolem()) for name in skolem_names}
+        expected_body = Subst(skolems)(expected_body)
+        actual_body = self.instantiate(actual)
+        subst = self.unify(expected_body, actual_body)
+        skolem_set = {t.name for t in skolems.values()}
+        if skolem_set:
+            for var in gamma.free_type_vars():
+                leaked = set(ftv(subst.apply(TVar(var)))) & skolem_set
+                if leaked:
+                    raise HMFError(
+                        f"rigid type variable {sorted(leaked)[0]} escapes via "
+                        f"the environment (would guess polymorphism)"
+                    )
+        return subst
+
+    # -- the algorithm ------------------------------------------------------
+
+    def infer(self, gamma: TypeEnv, term: Term) -> tuple[Subst, Type]:
+        if isinstance(term, (Var, FrozenVar)):
+            # HMF has no freeze; we accept the syntax and ignore the marker
+            # so HMF can be run on corpus terms (the marker is a no-op).
+            try:
+                return Subst.identity(), gamma.lookup(term.name)
+            except UnboundVariableError as exc:
+                raise HMFError(str(exc)) from exc
+        if isinstance(term, IntLit):
+            return Subst.identity(), INT
+        if isinstance(term, BoolLit):
+            return Subst.identity(), BOOL
+        if isinstance(term, StrLit):
+            return Subst.identity(), STRING
+        if isinstance(term, Lam):
+            param = self.fresh()
+            subst, body_ty = self.infer(gamma.extend(term.param, TVar(param)), term.body)
+            body_rho = self.instantiate(body_ty)
+            result = arrow(subst(TVar(param)), body_rho)
+            return subst, self.generalise(gamma.map_types(subst), result)
+        if isinstance(term, LamAnn):
+            subst, body_ty = self.infer(gamma.extend(term.param, term.ann), term.body)
+            body_rho = self.instantiate(body_ty)
+            result = arrow(term.ann, body_rho)
+            return subst, self.generalise(gamma.map_types(subst), result)
+        if isinstance(term, App):
+            subst1, fn_ty = self.infer(gamma, term.fn)
+            gamma1 = gamma.map_types(subst1)
+            subst2, arg_ty = self.infer(gamma1, term.arg)
+            fn_rho = self.instantiate(subst2(fn_ty))
+            beta = self.fresh()
+            subst3 = self.unify(fn_rho, arrow(TVar(self.fresh()), TVar(beta)))
+            fn_rho = subst3(fn_rho)
+            assert isinstance(fn_rho, TCon) and fn_rho.con == "->"
+            expected, result = fn_rho.args
+            gamma2 = gamma1.map_types(subst2)
+            if isinstance(expected, TForall):
+                subst4 = self.subsume(gamma2, expected, subst3(arg_ty))
+            else:
+                subst4 = self.unify(subst3(expected), self.instantiate(subst3(arg_ty)))
+            total = subst4.compose(subst3).compose(subst2).compose(subst1)
+            result_ty = self.generalise(gamma.map_types(total), subst4(subst3(result)))
+            return total, result_ty
+        if isinstance(term, (Let, LetAnn)):
+            subst1, bound_ty = self.infer(gamma, term.bound)
+            gamma1 = gamma.map_types(subst1)
+            if isinstance(term, LetAnn):
+                check = self.subsume(gamma1, term.ann, bound_ty)
+                subst1 = check.compose(subst1)
+                gamma1 = gamma.map_types(subst1)
+                bound_ty = term.ann
+            subst2, body_ty = self.infer(gamma1.extend(term.var, bound_ty), term.body)
+            return subst2.compose(subst1), body_ty
+        raise TypeError(f"not a term: {term!r}")
+
+
+def hmf_infer_type(term: Term, env: TypeEnv | None = None) -> Type:
+    """Infer the HMF type of ``term`` (generalised, canonical order)."""
+    env = env or TypeEnv.empty()
+    inferencer = HMFInferencer()
+    subst, ty = inferencer.infer(env, term)
+    return inferencer.generalise(env.map_types(subst), ty)
+
+
+def hmf_typecheck(term: Term, env: TypeEnv | None = None) -> bool:
+    try:
+        hmf_infer_type(term, env)
+    except TypeInferenceError:
+        return False
+    return True

@@ -1,0 +1,62 @@
+"""The plain Hindley-Milner baseline.
+
+FreezeML's headline claim is conservativity: on the ML fragment it
+behaves exactly like Damas-Milner (Theorem 1), and the new features cost
+nothing there.  This thin wrapper exposes classic Algorithm W
+(:mod:`repro.ml.typecheck`) over FreezeML corpus inputs so benchmarks can
+measure (a) which examples plain ML can even express and (b) the
+constant-factor overhead of the FreezeML inferencer on ML programs.
+
+Plain ML cannot express most of the corpus: frozen variables and
+annotations are not ML syntax, and the Figure 2 entries ``ids``, ``poly``,
+``auto`` ... are not ML type schemes at all.  Both conditions are
+reported as (honest) failures.
+"""
+
+from __future__ import annotations
+
+from ..core.env import TypeEnv
+from ..core.terms import Term
+from ..core.types import Type
+from ..errors import MLTypeError
+from ..ml.syntax import is_ml_scheme, is_ml_term
+from ..ml.typecheck import ml_infer_type
+
+
+def ml_expressible(term: Term, env: TypeEnv) -> bool:
+    """Can plain ML even state this problem?"""
+    if not is_ml_term(term):
+        return False
+    from ..core.terms import free_vars
+
+    for name in free_vars(term):
+        ty = env.get(name)
+        if ty is not None and not is_ml_scheme(ty):
+            return False
+    return True
+
+
+def ml_baseline_typecheck(term: Term, env: TypeEnv) -> bool:
+    """Does the example typecheck in plain ML?"""
+    if not ml_expressible(term, env):
+        return False
+    try:
+        ml_infer_type(term, _restrict_to_ml(env))
+    except MLTypeError:
+        return False
+    return True
+
+
+def ml_baseline_infer(term: Term, env: TypeEnv) -> Type:
+    """Infer under plain ML (raises on inexpressible inputs)."""
+    if not ml_expressible(term, env):
+        raise MLTypeError("not expressible in plain ML")
+    return ml_infer_type(term, _restrict_to_ml(env))
+
+
+def _restrict_to_ml(env: TypeEnv) -> TypeEnv:
+    out = TypeEnv()
+    for name, ty in env.items():
+        if is_ml_scheme(ty):
+            out = out.extend(name, ty)
+    return out

@@ -1,0 +1,166 @@
+"""An interactive FreezeML REPL (``python -m repro``).
+
+Commands::
+
+    <term>            infer and print the principal type
+    :run <term>       evaluate (CBV, type erasure)
+    :f <term>         elaborate to System F (Figure 11) and print
+    :derive <term>    print the full typing derivation (Figure 7)
+    :hmf <term>       infer under the HMF baseline
+    :let x = <term>   add a top-level definition (generalising let)
+    :env              list bindings added on top of the Figure 2 prelude
+    :strategy v|e     switch variable/eliminator instantiation
+    :help, :quit
+
+The REPL starts with the paper's Figure 2 prelude in scope.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .core.derivation import derive
+from .core.infer import ELIMINATOR, VARIABLE, infer_definition, infer_type
+from .corpus.signatures import prelude
+from .errors import FreezeMLError
+from .semantics import eval_freezeml, value_prelude
+from .semantics.values import show_value
+from .syntax.parser import parse_term
+from .syntax.pretty import pretty_type
+from .translate import elaborate
+
+BANNER = (
+    "FreezeML repl -- PLDI 2020 reproduction.  :help for commands, :quit to exit."
+)
+PROMPT = "freezeml> "
+
+
+class Repl:
+    """State and command dispatch for the REPL."""
+
+    def __init__(self, out=None):
+        self.out = out or sys.stdout
+        self.env = prelude()
+        self.values = value_prelude()
+        self.user_bindings: dict[str, str] = {}
+        self.strategy = VARIABLE
+
+    def emit(self, text: str) -> None:
+        print(text, file=self.out)
+
+    # -- command handlers ---------------------------------------------------
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the REPL should quit."""
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return True
+        try:
+            if line in (":quit", ":q"):
+                return False
+            if line in (":help", ":h"):
+                self.emit(__doc__.split("Commands::")[1])
+            elif line == ":env":
+                self._show_env()
+            elif line.startswith(":strategy"):
+                self._set_strategy(line.split(None, 1)[1:])
+            elif line.startswith(":run "):
+                self._run(line[5:])
+            elif line.startswith(":f "):
+                self._elaborate(line[3:])
+            elif line.startswith(":derive "):
+                self._derive(line[8:])
+            elif line.startswith(":hmf "):
+                self._hmf(line[5:])
+            elif line.startswith(":let "):
+                self._define(line[5:])
+            elif line.startswith(":"):
+                self.emit(f"unknown command {line.split()[0]} (:help)")
+            else:
+                self._infer(line)
+        except FreezeMLError as exc:
+            self.emit(f"error: {exc}")
+        return True
+
+    # -- implementations ------------------------------------------------------
+
+    def _infer(self, source: str) -> None:
+        ty = infer_type(parse_term(source), self.env, strategy=self.strategy)
+        self.emit(f"  : {pretty_type(ty)}")
+
+    def _run(self, source: str) -> None:
+        value = eval_freezeml(parse_term(source), dict(self.values))
+        self.emit(f"  = {show_value(value)}")
+
+    def _elaborate(self, source: str) -> None:
+        from .core.infer import normalise_type
+
+        result = elaborate(parse_term(source), self.env, strategy=self.strategy)
+        self.emit(f"  C[[-]] = {result.fterm}")
+        self.emit(f"  :      {pretty_type(normalise_type(result.ty))}")
+
+    def _derive(self, source: str) -> None:
+        deriv, _theta = derive(parse_term(source), self.env)
+        self.emit(deriv.pretty(indent=1))
+
+    def _hmf(self, source: str) -> None:
+        from .baselines.hmf import hmf_infer_type
+
+        ty = hmf_infer_type(parse_term(source), self.env)
+        self.emit(f"  (HMF) : {pretty_type(ty)}")
+
+    def _define(self, rest: str) -> None:
+        name, eq, body = rest.partition("=")
+        name = name.strip()
+        if not eq or not name.isidentifier():
+            self.emit("usage: :let x = <term>")
+            return
+        term = parse_term(body.strip())
+        ty = infer_definition(name, term, self.env, strategy=self.strategy)
+        self.env = self.env.extend(name, ty)
+        self.values[name] = eval_freezeml(term, dict(self.values))
+        self.user_bindings[name] = pretty_type(ty)
+        self.emit(f"  {name} : {pretty_type(ty)}")
+
+    def _show_env(self) -> None:
+        if not self.user_bindings:
+            self.emit("  (only the Figure 2 prelude)")
+        for name, ty in self.user_bindings.items():
+            self.emit(f"  {name} : {ty}")
+
+    def _set_strategy(self, args: list[str]) -> None:
+        choice = args[0].strip().lower() if args else ""
+        if choice in ("v", "variable"):
+            self.strategy = VARIABLE
+        elif choice in ("e", "eliminator"):
+            self.strategy = ELIMINATOR
+        else:
+            self.emit("usage: :strategy v|e")
+            return
+        self.emit(f"  instantiation strategy: {self.strategy}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: interactive loop, or `-c "term"` one-shot mode."""
+    argv = sys.argv[1:] if argv is None else argv
+    repl = Repl()
+    if argv[:1] == ["-c"]:
+        for chunk in argv[1:]:
+            if chunk == "-c":
+                continue
+            if not repl.handle(chunk):
+                break
+        return 0
+    print(BANNER)
+    while True:
+        try:
+            line = input(PROMPT)
+        except EOFError:
+            print()
+            return 0
+        if not repl.handle(line):
+            return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

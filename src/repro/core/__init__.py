@@ -1,0 +1,1 @@
+"""Core calculus: types, terms, kinds, unification and type inference."""

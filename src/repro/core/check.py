@@ -1,0 +1,137 @@
+"""The declarative typing relation, realised via principality.
+
+Figure 7's rules mention the negatively-occurring ``principal`` predicate;
+Appendix C shows the relation is nevertheless well defined and coincides
+with "``infer`` succeeds and the candidate type is a substitution instance
+of the inferred principal type" (Theorems 6 and 7).  That equivalence is
+what this module implements:
+
+* :func:`match_types` -- one-sided, kind-respecting matching of a pattern
+  (with designated bindable flexible variables) against a target type;
+* :func:`is_instance_of` -- is ``specific`` an instance of ``general``?
+* :func:`typeable` -- the relation ``Delta; Gamma |- M : A``;
+* :func:`principal_type_of` -- the most general type, with its residual
+  flexible variables and their kinds (for principality experiments).
+"""
+
+from __future__ import annotations
+
+from .env import TypeEnv
+from .infer import infer_raw
+from .kinds import Kind, KindEnv
+from .subst import Subst
+from .types import TCon, TForall, TVar, Type, ftv, is_monotype
+from ..errors import FreezeMLError
+
+
+def match_types(
+    pattern: Type,
+    target: Type,
+    bindable: dict[str, Kind],
+    rigid_ok: frozenset[str] | None = None,
+) -> Subst | None:
+    """Find ``theta`` with ``theta(pattern) == target`` (alpha-equality).
+
+    Only variables in ``bindable`` may be bound; a MONO variable may only
+    be bound to a syntactic monotype.  Bound (quantified) variables are
+    tracked positionally so quantifier order is respected.  Returns the
+    matching substitution, or None when there is no match.
+    """
+    bindings: dict[str, Type] = {}
+
+    def walk(pat: Type, tgt: Type, pmap: dict[str, str], tmap: dict[str, str]) -> bool:
+        if isinstance(pat, TVar):
+            if pat.name in pmap:
+                return isinstance(tgt, TVar) and tmap.get(tgt.name) == pmap[pat.name]
+            if pat.name in bindable:
+                # A bindable variable must not capture a bound variable of
+                # the target, and must respect its kind.
+                if pat.name in bindings:
+                    return _equal_under(bindings[pat.name], tgt, tmap)
+                if any(name in tmap for name in ftv(tgt)):
+                    return False
+                if bindable[pat.name] is Kind.MONO and not is_monotype(tgt):
+                    return False
+                bindings[pat.name] = tgt
+                return True
+            # Rigid pattern variable: must match the identical free var.
+            return isinstance(tgt, TVar) and tgt.name == pat.name and tgt.name not in tmap
+        if isinstance(pat, TCon):
+            if (
+                not isinstance(tgt, TCon)
+                or pat.con != tgt.con
+                or len(pat.args) != len(tgt.args)
+            ):
+                return False
+            return all(
+                walk(p, t, pmap, tmap) for p, t in zip(pat.args, tgt.args)
+            )
+        if isinstance(pat, TForall):
+            if not isinstance(tgt, TForall):
+                return False
+            marker = f"\x00{len(pmap)}"
+            return walk(
+                pat.body,
+                tgt.body,
+                {**pmap, pat.var: marker},
+                {**tmap, tgt.var: marker},
+            )
+        raise TypeError(f"not a type: {pat!r}")
+
+    def _equal_under(prev: Type, tgt: Type, tmap: dict[str, str]) -> bool:
+        # A variable already bound must match the same type again; both
+        # sides live in target-space so plain alpha-comparison suffices
+        # provided no locally bound target variables are involved.
+        from .types import alpha_equal
+
+        if any(name in tmap for name in ftv(tgt)):
+            return False
+        return alpha_equal(prev, tgt)
+
+    if walk(pattern, target, {}, {}):
+        return Subst(bindings)
+    return None
+
+
+def is_instance_of(
+    general: Type,
+    specific: Type,
+    flexible: dict[str, Kind],
+) -> bool:
+    """Is ``specific = theta(general)`` for a well-kinded ``theta``?"""
+    return match_types(general, specific, flexible) is not None
+
+
+def principal_type_of(
+    term,
+    env: TypeEnv | None = None,
+    delta: KindEnv | None = None,
+    **options,
+) -> tuple[Type, dict[str, Kind]]:
+    """Infer the principal type plus the kinds of its free flexible vars."""
+    result = infer_raw(term, env, delta, **options)
+    kinds = {
+        name: kind
+        for name, kind in result.theta_env.items()
+        if name in set(ftv(result.ty))
+    }
+    return result.ty, kinds
+
+
+def typeable(
+    term,
+    ty: Type,
+    env: TypeEnv | None = None,
+    delta: KindEnv | None = None,
+    **options,
+) -> bool:
+    """The declarative relation ``Delta; Gamma |- M : A``.
+
+    By Theorems 6 and 7 this holds iff inference succeeds with principal
+    type ``A'`` and ``A`` is a well-kinded instance of ``A'``.
+    """
+    try:
+        principal, kinds = principal_type_of(term, env, delta, **options)
+    except FreezeMLError:
+        return False
+    return is_instance_of(principal, ty, kinds)

@@ -1,0 +1,69 @@
+"""Type environments ``Gamma`` mapping term variables to types."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .types import Type, ftv
+from ..errors import UnboundVariableError
+
+
+class TypeEnv:
+    """An immutable ordered mapping from term variables to types.
+
+    Later bindings shadow earlier ones, as in the paper (``Gamma, x : A``).
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, bindings: Iterable[tuple[str, Type]] = ()):
+        self._map: dict[str, Type] = dict(bindings)
+
+    @staticmethod
+    def empty() -> "TypeEnv":
+        return _EMPTY
+
+    def extend(self, name: str, ty: Type) -> "TypeEnv":
+        env = TypeEnv()
+        env._map = {**self._map, name: ty}
+        return env
+
+    def lookup(self, name: str) -> Type:
+        try:
+            return self._map[name]
+        except KeyError:
+            raise UnboundVariableError(name) from None
+
+    def get(self, name: str) -> Type | None:
+        return self._map.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._map
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def items(self) -> Iterator[tuple[str, Type]]:
+        return iter(self._map.items())
+
+    def map_types(self, fn) -> "TypeEnv":
+        """Apply ``fn`` to every type in the environment (e.g. a subst)."""
+        env = TypeEnv()
+        env._map = {name: fn(ty) for name, ty in self._map.items()}
+        return env
+
+    def free_type_vars(self) -> frozenset[str]:
+        out: set[str] = set()
+        for ty in self._map.values():
+            out.update(ftv(ty))
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{n} : {t}" for n, t in self._map.items())
+        return f"TypeEnv({inside})"
+
+
+_EMPTY = TypeEnv()

@@ -1,0 +1,459 @@
+"""FreezeML type inference: the Algorithm W extension of paper Figure 16.
+
+``infer(Delta, Theta, Gamma, M)`` returns ``(Theta', theta, A)`` with
+``Delta |- theta : Theta => Theta'`` and ``Delta, Theta'; theta(Gamma) |-
+M : A`` (Theorem 6); the result is complete and principal (Theorem 7).
+
+The inferencer also drives the type-directed elaboration ``C[[-]]`` into
+System F (Figure 11).  Because that translation is defined on typing
+derivations, it is threaded through inference as a pluggable
+:class:`Elaborator`; the default hook builds nothing.  The System F
+building hook lives in :mod:`repro.translate.freezeml_to_f` to keep this
+module free of System F imports.
+
+Options (used by the paper's design discussions and our ablations):
+
+* ``value_restriction=False`` implements "pure FreezeML" (Section 3.2):
+  every term counts as generalisable, which is what example F10 needs.
+* ``strategy="eliminator"`` implements eliminator instantiation
+  (Sections 3.2/6): terms in application position are implicitly
+  instantiated, which is what ``bad5`` needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .env import TypeEnv
+from .kinds import Kind, KindEnv
+from .subst import Subst, instantiation_from
+from .terms import (
+    App,
+    BoolLit,
+    FrozenVar,
+    IntLit,
+    Lam,
+    LamAnn,
+    Let,
+    LetAnn,
+    StrLit,
+    Term,
+    Var,
+    is_guarded_value,
+)
+from .types import (
+    BOOL,
+    INT,
+    STRING,
+    TForall,
+    TVar,
+    Type,
+    arrow,
+    forall,
+    ftv,
+    split_foralls,
+)
+from .unify import demote, unify
+from .wellformed import env_well_formed, split_annotation, well_scoped
+from ..errors import SkolemEscapeError
+from ..names import NameSupply, display_names, is_flexible_name
+
+VARIABLE = "variable"
+ELIMINATOR = "eliminator"
+
+
+class Elaborator:
+    """Hook interface invoked by the inferencer, one method per rule.
+
+    The default implementation produces ``None`` everywhere; the System F
+    elaborator overrides each method.  ``zonk(payload, subst)`` must apply
+    a substitution to every type embedded in a payload -- the inferencer
+    calls it whenever it discharges a local flexible variable whose
+    binding would otherwise be lost (lambda parameters).
+    """
+
+    def frozen_var(self, name: str, ty: Type) -> Any:
+        return None
+
+    def var(self, name: str, ty: Type, type_args: tuple[Type, ...]) -> Any:
+        return None
+
+    def literal(self, term: Term, ty: Type) -> Any:
+        return None
+
+    def lam(self, param: str, param_ty: Type, body: Any, annotated: bool = False) -> Any:
+        return None
+
+    def app(self, fn: Any, arg: Any, result_ty: Type | None = None) -> Any:
+        return None
+
+    def let(
+        self,
+        var: str,
+        binders: tuple[str, ...],
+        var_ty: Type,
+        bound: Any,
+        body: Any,
+        annotated: bool = False,
+    ) -> Any:
+        return None
+
+    def inst(self, payload: Any, type_args: tuple[Type, ...]) -> Any:
+        """Extra instantiation inserted by the eliminator strategy."""
+        return None
+
+    def zonk(self, payload: Any, subst: Subst) -> Any:
+        return None
+
+
+class InferenceResult:
+    """The outcome of a top-level inference run."""
+
+    __slots__ = ("theta_env", "subst", "ty", "payload", "supply")
+
+    def __init__(self, theta_env, subst, ty, payload, supply):
+        self.theta_env = theta_env
+        self.subst = subst
+        self.ty = ty
+        self.payload = payload
+        self.supply = supply
+
+    def __repr__(self):  # pragma: no cover
+        return f"InferenceResult({self.ty})"
+
+
+class Inferencer:
+    """A single inference run; holds options and the fresh-name supply."""
+
+    def __init__(
+        self,
+        *,
+        value_restriction: bool = True,
+        strategy: str = VARIABLE,
+        elaborator: Elaborator | None = None,
+        supply: NameSupply | None = None,
+    ):
+        if strategy not in (VARIABLE, ELIMINATOR):
+            raise ValueError(f"unknown instantiation strategy: {strategy}")
+        self.value_restriction = value_restriction
+        self.strategy = strategy
+        self.elaborator = elaborator or Elaborator()
+        self.supply = supply or NameSupply()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _generalisable(self, term: Term) -> bool:
+        """Is ``term`` in ``GVal``?  (Everything is, without the VR.)"""
+        if not self.value_restriction:
+            return True
+        return is_guarded_value(term)
+
+    def _split(self, ann: Type, bound: Term) -> tuple[tuple[str, ...], Type]:
+        """``split(A, M)`` respecting the value-restriction option."""
+        if not self.value_restriction:
+            return split_foralls(ann)
+        return split_annotation(ann, bound)
+
+    # -- the algorithm (Figure 16) --------------------------------------------
+
+    def infer(
+        self, delta: KindEnv, theta: KindEnv, gamma: TypeEnv, term: Term
+    ) -> tuple[KindEnv, Subst, Type, Any]:
+        elab = self.elaborator
+
+        if isinstance(term, FrozenVar):
+            ty = gamma.lookup(term.name)
+            return theta, Subst.identity(), ty, elab.frozen_var(term.name, ty)
+
+        if isinstance(term, Var):
+            ty = gamma.lookup(term.name)
+            prefix, body = split_foralls(ty)
+            fresh = tuple(self.supply.fresh_flexible() for _ in prefix)
+            theta1 = theta.extend_all(fresh, Kind.POLY)
+            inst = instantiation_from(prefix, [TVar(f) for f in fresh])
+            type_args = tuple(TVar(f) for f in fresh)
+            return (
+                theta1,
+                Subst.identity(),
+                inst(body),
+                elab.var(term.name, ty, type_args),
+            )
+
+        if isinstance(term, IntLit):
+            return theta, Subst.identity(), INT, elab.literal(term, INT)
+        if isinstance(term, BoolLit):
+            return theta, Subst.identity(), BOOL, elab.literal(term, BOOL)
+        if isinstance(term, StrLit):
+            return theta, Subst.identity(), STRING, elab.literal(term, STRING)
+
+        if isinstance(term, Lam):
+            a = self.supply.fresh_flexible()
+            theta1, subst1, body_ty, body_p = self.infer(
+                delta,
+                theta.extend(a, Kind.MONO),
+                gamma.extend(term.param, TVar(a)),
+                term.body,
+            )
+            param_ty = subst1(TVar(a))
+            # Discharge `a` locally: its binding leaves the substitution,
+            # so zonk it into the elaborated body now.
+            local = Subst.singleton(a, param_ty)
+            subst = subst1.remove([a])
+            payload = elab.lam(term.param, param_ty, elab.zonk(body_p, local))
+            return theta1, subst, arrow(param_ty, body_ty), payload
+
+        if isinstance(term, LamAnn):
+            theta1, subst, body_ty, body_p = self.infer(
+                delta, theta, gamma.extend(term.param, term.ann), term.body
+            )
+            payload = elab.lam(term.param, term.ann, body_p, annotated=True)
+            return theta1, subst, arrow(term.ann, body_ty), payload
+
+        if isinstance(term, App):
+            return self._infer_app(delta, theta, gamma, term)
+
+        if isinstance(term, Let):
+            return self._infer_let(delta, theta, gamma, term)
+
+        if isinstance(term, LetAnn):
+            return self._infer_let_ann(delta, theta, gamma, term)
+
+        raise TypeError(f"not a term: {term!r}")
+
+    def _infer_app(self, delta, theta, gamma, term: App):
+        elab = self.elaborator
+        theta1, subst1, fn_ty, fn_p = self.infer(delta, theta, gamma, term.fn)
+        theta2, subst2, arg_ty, arg_p = self.infer(
+            delta, theta1, gamma.map_types(subst1), term.arg
+        )
+        fn_ty = subst2(fn_ty)
+
+        if self.strategy == ELIMINATOR and isinstance(fn_ty, TForall):
+            # Eliminator instantiation: a polymorphic term in application
+            # position is implicitly instantiated with fresh variables.
+            prefix, body = split_foralls(fn_ty)
+            fresh = tuple(self.supply.fresh_flexible() for _ in prefix)
+            theta2 = theta2.extend_all(fresh, Kind.POLY)
+            inst = instantiation_from(prefix, [TVar(f) for f in fresh])
+            fn_ty = inst(body)
+            fn_p = elab.inst(fn_p, tuple(TVar(f) for f in fresh))
+
+        b = self.supply.fresh_flexible()
+        theta3, unifier = unify(
+            delta,
+            theta2.extend(b, Kind.POLY),
+            fn_ty,
+            arrow(arg_ty, TVar(b)),
+            self.supply,
+        )
+        result_ty = unifier(TVar(b))
+        subst3 = unifier.remove([b])
+        subst = subst3.compose(subst2).compose(subst1)
+        payload = elab.app(
+            elab.zonk(fn_p, unifier), elab.zonk(arg_p, unifier), result_ty
+        )
+        return theta3, subst, result_ty, payload
+
+    def _infer_let(self, delta, theta, gamma, term: Let):
+        elab = self.elaborator
+        theta1, subst1, bound_ty, bound_p = self.infer(delta, theta, gamma, term.bound)
+
+        # Delta' = ftv(theta1) - Delta : flexible variables reachable from
+        # the ambient context (identity images included).
+        reachable = set(subst1.ftv_over(theta.names())) - set(delta.names())
+        # Delta''' = ftv(A) - (Delta, Delta') : the generalisation candidates.
+        candidates = tuple(
+            v for v in ftv(bound_ty) if v not in delta and v not in reachable
+        )
+        binders = candidates if self._generalisable(term.bound) else ()
+
+        # Theta1' = demote(mono, Theta1, Delta''') ; then drop the binders.
+        theta1_demoted = demote(Kind.MONO, theta1, candidates)
+        theta_for_body = theta1_demoted.remove(binders)
+
+        var_ty = forall(binders, bound_ty)
+        theta2, subst2, body_ty, body_p = self.infer(
+            delta,
+            theta_for_body,
+            gamma.map_types(subst1).extend(term.var, var_ty),
+            term.body,
+        )
+        subst = subst2.compose(subst1)
+        payload = elab.let(
+            term.var, binders, subst2(var_ty), elab.zonk(bound_p, subst2), body_p
+        )
+        return theta2, subst, body_ty, payload
+
+    def _infer_let_ann(self, delta, theta, gamma, term: LetAnn):
+        elab = self.elaborator
+        binders, ann_body = self._split(term.ann, term.bound)
+        delta_inner = delta.extend_all(binders, Kind.MONO)
+
+        theta1, subst1, bound_ty, bound_p = self.infer(
+            delta_inner, theta, gamma, term.bound
+        )
+        theta2, unifier = unify(delta_inner, theta1, ann_body, bound_ty, self.supply)
+        subst2 = unifier.compose(subst1)
+
+        # The annotation's own quantified variables must not leak into the
+        # ambient substitution (Figure 16's `assert ftv(theta2) # Delta'`).
+        escaped = set(subst2.ftv_over(theta.names())) & set(binders)
+        if escaped:
+            raise SkolemEscapeError(
+                sorted(escaped)[0], f"annotation `{term.ann}` on {term.var}"
+            )
+
+        theta3, subst3, body_ty, body_p = self.infer(
+            delta,
+            theta2,
+            gamma.map_types(subst2).extend(term.var, term.ann),
+            term.body,
+        )
+        subst = subst3.compose(subst2)
+        payload = elab.let(
+            term.var,
+            binders,
+            term.ann,
+            elab.zonk(bound_p, subst3.compose(unifier)),
+            body_p,
+            annotated=True,
+        )
+        return theta3, subst, body_ty, payload
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def infer_raw(
+    term: Term,
+    env: TypeEnv | None = None,
+    delta: KindEnv | None = None,
+    theta: KindEnv | None = None,
+    **options,
+) -> InferenceResult:
+    """Run inference and return the raw result (env, subst, type, payload).
+
+    Checks well-scopedness (``Delta |> M``) and environment well-formedness
+    first, as the paper's theorems require.
+    """
+    env = env or TypeEnv.empty()
+    delta = delta or KindEnv.empty()
+    theta = theta or KindEnv.empty()
+    inferencer = Inferencer(**options)
+    well_scoped(delta, term)
+    env_well_formed(delta.concat(theta), env)
+    theta_out, subst, ty, payload = inferencer.infer(delta, theta, env, term)
+    return InferenceResult(theta_out, subst, ty, payload, inferencer.supply)
+
+
+def infer_type(
+    term: Term,
+    env: TypeEnv | None = None,
+    delta: KindEnv | None = None,
+    *,
+    normalise: bool = True,
+    **options,
+) -> Type:
+    """Infer the principal type of ``term``; optionally prettify free
+    flexible variables (``%7`` becomes ``a`` etc.)."""
+    result = infer_raw(term, env, delta, **options)
+    ty = result.ty
+    if normalise:
+        ty = normalise_type(ty)
+    return ty
+
+
+def infer_definition(
+    name: str,
+    term: Term,
+    env: TypeEnv | None = None,
+    delta: KindEnv | None = None,
+    *,
+    normalise: bool = True,
+    **options,
+) -> Type:
+    """The type a top-level definition ``let name = term`` gives ``name``.
+
+    Implemented, faithfully to the paper, as the type of the frozen
+    variable in ``let name = term in ~name``: for guarded values this is
+    the generalised principal type; for non-values the value restriction
+    applies.
+    """
+    probe = Let(name, term, FrozenVar(name))
+    return infer_type(probe, env, delta, normalise=normalise, **options)
+
+
+def typecheck(
+    term: Term,
+    env: TypeEnv | None = None,
+    delta: KindEnv | None = None,
+    **options,
+) -> bool:
+    """Does inference succeed on ``term``?"""
+    from ..errors import FreezeMLError
+
+    try:
+        infer_raw(term, env, delta, **options)
+    except FreezeMLError:
+        return False
+    return True
+
+
+def normalise_type(ty: Type, rename_bound: bool = False) -> Type:
+    """Rename machine-generated free type variables for display.
+
+    Free flexible variables (``%N`` names) are renamed, in first occurrence
+    order, to ``a``, ``b``, ... avoiding every name already present in the
+    type.  Bound variables are renamed only when they are machine-generated
+    (or when ``rename_bound`` is set) -- generalisation may promote a
+    flexible ``%7`` into a quantifier, which also deserves a pretty name.
+    """
+    taken = set(ftv(ty)) | {
+        v for t in _all_binders(ty) for v in (t,)
+    }
+    supply = display_names({n for n in taken if not _is_machine(n)})
+
+    mapping: dict[str, str] = {}
+
+    def pretty(name: str) -> str:
+        if name not in mapping:
+            mapping[name] = next(supply)
+        return mapping[name]
+
+    def walk(t: Type, bound: dict[str, str]) -> Type:
+        if isinstance(t, TVar):
+            if t.name in bound:
+                return TVar(bound[t.name])
+            if _is_machine(t.name):
+                return TVar(pretty(t.name))
+            return t
+        from .types import TCon
+
+        if isinstance(t, TCon):
+            return TCon(t.con, tuple(walk(a, bound) for a in t.args))
+        if isinstance(t, TForall):
+            if _is_machine(t.var) or rename_bound:
+                new = pretty(t.var)
+                return TForall(new, walk(t.body, {**bound, t.var: new}))
+            return TForall(t.var, walk(t.body, bound))
+        raise TypeError(f"not a type: {t!r}")
+
+    return walk(ty, {})
+
+
+def _is_machine(name: str) -> bool:
+    return is_flexible_name(name) or name.startswith("!")
+
+
+def _all_binders(ty: Type):
+    if isinstance(ty, TForall):
+        yield ty.var
+        yield from _all_binders(ty.body)
+    else:
+        from .types import TCon
+
+        if isinstance(ty, TCon):
+            for arg in ty.args:
+                yield from _all_binders(arg)

@@ -1,0 +1,150 @@
+"""Kinds and kind environments (paper Figures 3 and 12, Section 5.1).
+
+FreezeML has exactly two kinds:
+
+* ``Kind.MONO`` (written ``•`` in the paper): monomorphic types.
+* ``Kind.POLY`` (written ``⋆``): all types, including quantified ones.
+
+Two flavours of kind environment appear in the algorithms:
+
+* a *fixed* kind environment ``Delta`` holds rigid type variables, which
+  always have kind ``•`` -- represented here as :class:`KindEnv` with all
+  entries MONO (the helper :func:`fixed_env` builds one);
+* a *refined* kind environment ``Theta`` holds flexible (unification)
+  variables, each mapped to ``•`` or ``⋆``.
+
+Both are immutable; every operation returns a new environment.  Order of
+entries is preserved (the paper's environments are ordered sequences and
+order matters for e.g. quantifier generation).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator
+
+
+class Kind(enum.Enum):
+    """The two FreezeML kinds."""
+
+    MONO = "mono"  # • : monomorphic types only
+    POLY = "poly"  # ⋆ : arbitrary (possibly polymorphic) types
+
+    def __str__(self) -> str:
+        return "•" if self is Kind.MONO else "⋆"
+
+    def join(self, other: "Kind") -> "Kind":
+        """Least upper bound: ``• ⊔ • = •`` and anything else is ``⋆``."""
+        if self is Kind.MONO and other is Kind.MONO:
+            return Kind.MONO
+        return Kind.POLY
+
+    def leq(self, other: "Kind") -> bool:
+        """Subkind order ``• <= ⋆`` (the Upcast rule)."""
+        return self is Kind.MONO or other is Kind.POLY
+
+
+class KindEnv:
+    """An ordered, immutable mapping from type-variable names to kinds.
+
+    Used both for fixed environments (``Delta``; every kind is MONO) and
+    refined environments (``Theta``).
+    """
+
+    __slots__ = ("_entries", "_index")
+
+    def __init__(self, entries: Iterable[tuple[str, Kind]] = ()):
+        entries = tuple(entries)
+        index = {}
+        for name, kind in entries:
+            if name in index:
+                raise ValueError(f"duplicate type variable in kind environment: {name}")
+            index[name] = kind
+        self._entries = entries
+        self._index = index
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def empty() -> "KindEnv":
+        return _EMPTY
+
+    def extend(self, name: str, kind: Kind) -> "KindEnv":
+        """Return ``self, name : kind`` (name must be fresh for self)."""
+        if name in self._index:
+            raise ValueError(f"type variable already bound: {name}")
+        return KindEnv(self._entries + ((name, kind),))
+
+    def extend_all(self, names: Iterable[str], kind: Kind) -> "KindEnv":
+        env = self
+        for name in names:
+            env = env.extend(name, kind)
+        return env
+
+    def concat(self, other: "KindEnv") -> "KindEnv":
+        """Concatenation ``self, other`` -- requires disjointness."""
+        return KindEnv(self._entries + other._entries)
+
+    def remove(self, names: Iterable[str]) -> "KindEnv":
+        """Restriction ``self - names`` (paper's ``Delta - Delta'``)."""
+        names = set(names)
+        return KindEnv((n, k) for n, k in self._entries if n not in names)
+
+    def set_kinds(self, names: Iterable[str], kind: Kind) -> "KindEnv":
+        """Return a copy with each name in ``names`` re-kinded to ``kind``."""
+        names = set(names)
+        return KindEnv(
+            (n, kind if n in names else k) for n, k in self._entries
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        return (name for name, _ in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[tuple[str, Kind]]:
+        return iter(self._entries)
+
+    def lookup(self, name: str) -> Kind | None:
+        return self._index.get(name)
+
+    def kind_of(self, name: str) -> Kind:
+        kind = self._index.get(name)
+        if kind is None:
+            raise KeyError(f"type variable not in kind environment: {name}")
+        return kind
+
+    def names(self) -> tuple[str, ...]:
+        """The domain, in order (the paper's ``ftv(Theta)``)."""
+        return tuple(name for name, _ in self._entries)
+
+    def disjoint(self, other: "KindEnv | Iterable[str]") -> bool:
+        """The paper's ``Delta # Delta'``."""
+        other_names = set(other.names()) if isinstance(other, KindEnv) else set(other)
+        return not (set(self._index) & other_names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KindEnv):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{n}:{k}" for n, k in self._entries)
+        return f"KindEnv({inside})"
+
+
+_EMPTY = KindEnv()
+
+
+def fixed_env(names: Iterable[str] = ()) -> KindEnv:
+    """Build a fixed kind environment ``Delta`` (all entries MONO)."""
+    return KindEnv((name, Kind.MONO) for name in names)

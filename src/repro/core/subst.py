@@ -1,0 +1,204 @@
+"""Type substitutions and instantiations (paper Figures 5, 6, 13, 14).
+
+The paper distinguishes *type instantiations* ``delta`` (which act on
+rigid variables, e.g. when instantiating a polymorphic variable occurrence)
+from *type substitutions* ``theta`` (which act on flexible unification
+variables).  Both are finite maps from variable names to types and share
+one representation, :class:`Subst`; the rigid/flexible distinction lives
+in the kind environments that accompany them.
+
+Application is capture-avoiding exactly as in Figure 6::
+
+    delta(forall a. A) = forall c. delta[a |-> c](A)    c fresh
+
+Composition follows Section 5.2: ``(theta ∘ theta')(a) = theta(theta'(a))``.
+Because our maps are partial (identity outside the explicit domain), the
+composite keeps the outer map's bindings for variables missing from the
+inner domain.  Composing unifiers the way Algorithm W does keeps the
+result idempotent, which the elaborator relies on for its final zonking
+pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .types import TCon, TForall, TVar, Type, ftv, ftv_set
+
+_RENAME_COUNTER = [0]
+
+
+def _fresh_binder(base: str, avoid: set[str]) -> str:
+    """A binder name not in ``avoid`` (for capture-avoiding application)."""
+    candidate = base
+    while candidate in avoid:
+        _RENAME_COUNTER[0] += 1
+        candidate = f"{base}'{_RENAME_COUNTER[0]}"
+    return candidate
+
+
+class Subst:
+    """A finite map from type-variable names to types.
+
+    Immutable.  Variables outside the domain are mapped to themselves.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Mapping[str, Type] | Iterable[tuple[str, Type]] = ()):
+        self._map: dict[str, Type] = dict(mapping)
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def identity() -> "Subst":
+        return _IDENTITY
+
+    @staticmethod
+    def singleton(name: str, ty: Type) -> "Subst":
+        return Subst({name: ty})
+
+    def bind(self, name: str, ty: Type) -> "Subst":
+        """Return ``self[name |-> ty]``."""
+        return Subst({**self._map, name: ty})
+
+    def remove(self, names: Iterable[str]) -> "Subst":
+        """Domain restriction: drop bindings for ``names``."""
+        names = set(names)
+        return Subst({k: v for k, v in self._map.items() if k not in names})
+
+    def restrict(self, names: Iterable[str]) -> "Subst":
+        """Keep only bindings for ``names``."""
+        names = set(names)
+        return Subst({k: v for k, v in self._map.items() if k in names})
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._map)
+
+    def items(self) -> Iterator[tuple[str, Type]]:
+        return iter(self._map.items())
+
+    def domain(self) -> frozenset[str]:
+        return frozenset(self._map)
+
+    def lookup(self, name: str) -> Type:
+        """The image of ``name`` (itself when outside the domain)."""
+        return self._map.get(name, TVar(name))
+
+    def range_ftv(self) -> frozenset[str]:
+        """Free variables of the explicit bindings' images."""
+        out: set[str] = set()
+        for ty in self._map.values():
+            out.update(ftv(ty))
+        return frozenset(out)
+
+    def ftv_over(self, domain_names: Iterable[str]) -> tuple[str, ...]:
+        """The paper's ``ftv(theta)`` relative to a domain environment.
+
+        Appendix G defines ``ftv(theta)`` for ``Delta |- theta : Theta =>
+        Theta'`` as the free variables of ``theta(a1) -> ... -> theta(an)``
+        where ``a1..an`` are *all* of ``Theta``'s variables -- crucially
+        including those the map sends to themselves.  Returned in first
+        occurrence order.
+        """
+        seen: list[str] = []
+        seen_set: set[str] = set()
+        for name in domain_names:
+            for var in ftv(self.lookup(name)):
+                if var not in seen_set:
+                    seen.append(var)
+                    seen_set.add(var)
+        return tuple(seen)
+
+    def is_identity(self) -> bool:
+        return all(isinstance(t, TVar) and t.name == n for n, t in self._map.items())
+
+    # -- application (Figure 6) ---------------------------------------------
+
+    def apply(self, ty: Type) -> Type:
+        """Capture-avoidingly apply the substitution to a type."""
+        if not self._map:
+            return ty
+        return self._apply(ty, self._map)
+
+    def _apply(self, ty: Type, mapping: dict[str, Type]) -> Type:
+        if isinstance(ty, TVar):
+            return mapping.get(ty.name, ty)
+        if isinstance(ty, TCon):
+            return TCon(ty.con, tuple(self._apply(a, mapping) for a in ty.args))
+        if isinstance(ty, TForall):
+            inner = {k: v for k, v in mapping.items() if k != ty.var}
+            if not inner:
+                return ty
+            # Capture check: does the binder collide with any image var?
+            image_vars: set[str] = set()
+            for name in ftv(ty.body):
+                if name == ty.var:
+                    continue
+                bound_ty = inner.get(name)
+                if bound_ty is not None:
+                    image_vars.update(ftv(bound_ty))
+            if ty.var in image_vars:
+                fresh = _fresh_binder(ty.var, image_vars | set(inner) | ftv_set(ty.body))
+                body = self._apply(ty.body, {**inner, ty.var: TVar(fresh)})
+                return TForall(fresh, body)
+            return TForall(ty.var, self._apply(ty.body, inner))
+        raise TypeError(f"not a type: {ty!r}")
+
+    def __call__(self, ty: Type) -> Type:
+        return self.apply(ty)
+
+    # -- composition ---------------------------------------------------------
+
+    def compose(self, inner: "Subst") -> "Subst":
+        """``self ∘ inner``: first apply ``inner``, then ``self``.
+
+        For partial maps: ``(self ∘ inner)(a) = self(inner(a))`` -- bindings
+        of ``self`` whose variables are outside ``inner``'s domain are kept
+        (they behave as ``inner``-identity variables).
+        """
+        out: dict[str, Type] = {}
+        for name, ty in inner._map.items():
+            out[name] = self.apply(ty)
+        for name, ty in self._map.items():
+            if name not in out:
+                out[name] = ty
+        return Subst(out)
+
+    def is_idempotent(self) -> bool:
+        """Check ``theta ∘ theta == theta`` (a debugging invariant)."""
+        return not (self.domain() & self.range_ftv())
+
+    def __repr__(self) -> str:
+        inside = ", ".join(f"{n} |-> {t}" for n, t in sorted(self._map.items()))
+        return f"Subst({inside})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subst):
+            return NotImplemented
+        # Extensional equality on the union of domains (identity outside).
+        names = self.domain() | other.domain()
+        return all(self.lookup(n) == other.lookup(n) for n in names)
+
+    def __hash__(self):  # pragma: no cover - substitutions are not hashed
+        raise TypeError("Subst is unhashable")
+
+
+_IDENTITY = Subst()
+
+
+def instantiation_from(names: Iterable[str], types: Iterable[Type]) -> Subst:
+    """Build ``delta = [a1 |-> A1, ..., an |-> An]`` pointwise."""
+    names = tuple(names)
+    types = tuple(types)
+    if len(names) != len(types):
+        raise ValueError("instantiation arity mismatch")
+    return Subst(zip(names, types))

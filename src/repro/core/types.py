@@ -1,0 +1,371 @@
+"""System F types as used by FreezeML (paper Figure 3).
+
+The grammar is::
+
+    Types      A, B ::= a | D A1 ... An | forall a. A
+    Monotypes  S, T ::= a | D S1 ... Sn          (no quantifiers anywhere)
+    Guarded    H    ::= a | D A1 ... An          (no *top-level* quantifier)
+
+Type constructors ``D`` include ``Int``, ``Bool``, ``List``, ``->`` and
+``×`` (products); the set is open-ended, each constructor has a fixed
+arity.  Unlike ML -- and exactly like System F -- the order of quantifiers
+matters: ``forall a b. a -> b`` and ``forall b a. a -> b`` are different
+types.
+
+Types are immutable and hashable.  Equality (``==``) is *syntactic* --
+use :func:`alpha_equal` for equality up to renaming of bound variables,
+which is the notion of type identity the paper uses ("we identify
+alpha-equivalent types").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+# ---------------------------------------------------------------------------
+# Constructor arities.  The table is extensible: `declare_constructor` lets
+# clients (tests, extensions) add their own data types.
+# ---------------------------------------------------------------------------
+
+ARROW = "->"
+PRODUCT = "*"
+
+_ARITIES: dict[str, int] = {
+    "Int": 0,
+    "Bool": 0,
+    "String": 0,
+    "Unit": 0,
+    "List": 1,
+    "ST": 2,
+    "Ref": 1,
+    ARROW: 2,
+    PRODUCT: 2,
+}
+
+
+def declare_constructor(name: str, arity: int) -> None:
+    """Register a new type constructor ``D`` with the given arity."""
+    existing = _ARITIES.get(name)
+    if existing is not None and existing != arity:
+        raise ValueError(
+            f"constructor {name} already declared with arity {existing}"
+        )
+    _ARITIES[name] = arity
+
+
+def constructor_arity(name: str) -> int | None:
+    """The arity of a declared constructor, or None if unknown."""
+    return _ARITIES.get(name)
+
+
+# ---------------------------------------------------------------------------
+# The type AST
+# ---------------------------------------------------------------------------
+
+
+class Type:
+    """Abstract base class of FreezeML/System F types."""
+
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return format_type(self)
+
+    def __repr__(self) -> str:
+        return f"<{format_type(self)}>"
+
+
+@dataclass(frozen=True, repr=False, slots=True)
+class TVar(Type):
+    """A type variable (rigid or flexible, depending on context)."""
+
+    name: str
+
+
+@dataclass(frozen=True, repr=False, slots=True)
+class TCon(Type):
+    """A fully applied type constructor ``D A1 ... An``."""
+
+    con: str
+    args: tuple[Type, ...] = ()
+
+    def __post_init__(self):
+        arity = _ARITIES.get(self.con)
+        if arity is not None and arity != len(self.args):
+            raise ValueError(
+                f"constructor {self.con} expects {arity} arguments, "
+                f"got {len(self.args)}"
+            )
+
+
+@dataclass(frozen=True, repr=False, slots=True)
+class TForall(Type):
+    """A universally quantified type ``forall a. A``."""
+
+    var: str
+    body: Type
+
+
+# -- convenience builders ----------------------------------------------------
+
+INT = TCon("Int")
+BOOL = TCon("Bool")
+STRING = TCon("String")
+UNIT = TCon("Unit")
+
+
+def tvar(name: str) -> TVar:
+    return TVar(name)
+
+
+def arrow(domain: Type, codomain: Type) -> TCon:
+    """The function type ``domain -> codomain``."""
+    return TCon(ARROW, (domain, codomain))
+
+
+def arrows(*types: Type) -> Type:
+    """Right-nested function type ``t1 -> t2 -> ... -> tn``."""
+    if not types:
+        raise ValueError("arrows needs at least one type")
+    result = types[-1]
+    for ty in reversed(types[:-1]):
+        result = arrow(ty, result)
+    return result
+
+
+def product(left: Type, right: Type) -> TCon:
+    """The product type ``left × right``."""
+    return TCon(PRODUCT, (left, right))
+
+
+def list_of(elem: Type) -> TCon:
+    return TCon("List", (elem,))
+
+
+def forall(names: Iterable[str] | str, body: Type) -> Type:
+    """``forall a1 ... an. body`` (no-op when names is empty)."""
+    if isinstance(names, str):
+        names = (names,)
+    result = body
+    for name in reversed(tuple(names)):
+        result = TForall(name, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Structural queries
+# ---------------------------------------------------------------------------
+
+
+def ftv(ty: Type) -> tuple[str, ...]:
+    """Free type variables in first-occurrence order (paper Section 3).
+
+    ``ftv((a -> b) -> (a -> c)) == ('a', 'b', 'c')``.  The order is relied
+    on by generalisation, which quantifies variables "in the sequence in
+    which they first appear in a type".
+    """
+    seen: list[str] = []
+    seen_set: set[str] = set()
+
+    def walk(t: Type, bound: frozenset[str]) -> None:
+        if isinstance(t, TVar):
+            if t.name not in bound and t.name not in seen_set:
+                seen.append(t.name)
+                seen_set.add(t.name)
+        elif isinstance(t, TCon):
+            for arg in t.args:
+                walk(arg, bound)
+        elif isinstance(t, TForall):
+            walk(t.body, bound | {t.var})
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a type: {t!r}")
+
+    walk(ty, frozenset())
+    return tuple(seen)
+
+
+def ftv_set(ty: Type) -> frozenset[str]:
+    """Free type variables as a set (when order is irrelevant)."""
+    return frozenset(ftv(ty))
+
+
+def occurs(name: str, ty: Type) -> bool:
+    """Does ``name`` occur free in ``ty``?"""
+    if isinstance(ty, TVar):
+        return ty.name == name
+    if isinstance(ty, TCon):
+        return any(occurs(name, arg) for arg in ty.args)
+    if isinstance(ty, TForall):
+        return ty.var != name and occurs(name, ty.body)
+    raise TypeError(f"not a type: {ty!r}")
+
+
+def is_monotype(ty: Type) -> bool:
+    """Is ``ty`` a monotype ``S`` (quantifier-free everywhere)?
+
+    Note this is the *syntactic* notion from Figure 3; a flexible variable
+    of kind ``⋆`` is syntactically a monotype but not kind-checkable at
+    ``•`` -- kinding questions belong to :mod:`repro.core.wellformed`.
+    """
+    if isinstance(ty, TVar):
+        return True
+    if isinstance(ty, TCon):
+        return all(is_monotype(arg) for arg in ty.args)
+    if isinstance(ty, TForall):
+        return False
+    raise TypeError(f"not a type: {ty!r}")
+
+
+def is_guarded(ty: Type) -> bool:
+    """Is ``ty`` a guarded type ``H`` (no *top-level* quantifier)?"""
+    return not isinstance(ty, TForall)
+
+
+def split_foralls(ty: Type) -> tuple[tuple[str, ...], Type]:
+    """Decompose ``forall a1 ... an. H`` into ``((a1, ..., an), H)``.
+
+    The prefix is maximal, so the returned body is guarded.  Duplicate
+    binder names in the prefix (legal but useless, the inner one shadows)
+    are freshened away by renaming -- callers always receive a prefix of
+    distinct names.
+    """
+    names: list[str] = []
+    body = ty
+    while isinstance(body, TForall):
+        if body.var in names:
+            # Shadowing: rename the *outer* occurrence already collected is
+            # wrong; instead rename this inner binder.  Inner binders shadow
+            # outer ones, so the outer name becomes vacuous in the body.
+            fresh = _fresh_variant(body.var, set(names) | ftv_set(body.body))
+            names.append(fresh)
+            body = rename(body.body, {body.var: fresh})
+        else:
+            names.append(body.var)
+            body = body.body
+    return tuple(names), body
+
+
+def _fresh_variant(base: str, avoid: set[str]) -> str:
+    candidate = base
+    counter = 0
+    while candidate in avoid:
+        counter += 1
+        candidate = f"{base}_{counter}"
+    return candidate
+
+
+def rename(ty: Type, mapping: dict[str, str]) -> Type:
+    """Capture-avoiding renaming of free variables (name -> name)."""
+    if isinstance(ty, TVar):
+        return TVar(mapping.get(ty.name, ty.name))
+    if isinstance(ty, TCon):
+        return TCon(ty.con, tuple(rename(arg, mapping) for arg in ty.args))
+    if isinstance(ty, TForall):
+        inner = {k: v for k, v in mapping.items() if k != ty.var}
+        if ty.var in inner.values():
+            fresh = _fresh_variant(ty.var, set(inner.values()) | ftv_set(ty.body))
+            body = rename(ty.body, {**inner, ty.var: fresh})
+            return TForall(fresh, body)
+        return TForall(ty.var, rename(ty.body, inner))
+    raise TypeError(f"not a type: {ty!r}")
+
+
+def alpha_equal(left: Type, right: Type) -> bool:
+    """Equality up to renaming of bound variables.
+
+    Quantifier *order* is significant (System F!): ``forall a b. a -> b``
+    is not alpha-equal to ``forall b a. a -> b``.
+    """
+
+    def walk(l: Type, r: Type, lmap: dict[str, str], rmap: dict[str, str], depth: list[int]) -> bool:
+        if isinstance(l, TVar) and isinstance(r, TVar):
+            lname = lmap.get(l.name, l.name)
+            rname = rmap.get(r.name, r.name)
+            return lname == rname
+        if isinstance(l, TCon) and isinstance(r, TCon):
+            if l.con != r.con or len(l.args) != len(r.args):
+                return False
+            return all(
+                walk(la, ra, lmap, rmap, depth)
+                for la, ra in zip(l.args, r.args)
+            )
+        if isinstance(l, TForall) and isinstance(r, TForall):
+            marker = f"\x00{depth[0]}"
+            depth[0] += 1
+            return walk(
+                l.body,
+                r.body,
+                {**lmap, l.var: marker},
+                {**rmap, r.var: marker},
+                depth,
+            )
+        return False
+
+    return walk(left, right, {}, {}, [0])
+
+
+def type_size(ty: Type) -> int:
+    """Number of AST nodes; handy for benchmarks and fuzz shrinking."""
+    if isinstance(ty, TVar):
+        return 1
+    if isinstance(ty, TCon):
+        return 1 + sum(type_size(arg) for arg in ty.args)
+    if isinstance(ty, TForall):
+        return 1 + type_size(ty.body)
+    raise TypeError(f"not a type: {ty!r}")
+
+
+def subtypes(ty: Type) -> Iterator[Type]:
+    """All sub-type expressions, including ``ty`` itself (pre-order)."""
+    yield ty
+    if isinstance(ty, TCon):
+        for arg in ty.args:
+            yield from subtypes(arg)
+    elif isinstance(ty, TForall):
+        yield from subtypes(ty.body)
+
+
+# ---------------------------------------------------------------------------
+# Formatting (a small precedence-aware printer; the full configurable
+# pretty-printer lives in repro.syntax.pretty and reuses this)
+# ---------------------------------------------------------------------------
+
+_PREC_TOP = 0  # forall
+_PREC_ARROW = 1
+_PREC_PRODUCT = 2
+_PREC_APP = 3
+_PREC_ATOM = 4
+
+
+def format_type(ty: Type, prec: int = _PREC_TOP) -> str:
+    """Render a type with minimal parentheses.
+
+    ``->`` is right-associative and binds looser than ``×``, which binds
+    looser than constructor application.  ``forall`` extends as far right
+    as possible.
+    """
+    if isinstance(ty, TVar):
+        return ty.name
+    if isinstance(ty, TForall):
+        names, body = split_foralls(ty)
+        inner = f"forall {' '.join(names)}. {format_type(body, _PREC_TOP)}"
+        return f"({inner})" if prec > _PREC_TOP else inner
+    if isinstance(ty, TCon):
+        if ty.con == ARROW:
+            dom, cod = ty.args
+            inner = (
+                f"{format_type(dom, _PREC_PRODUCT)} -> {format_type(cod, _PREC_ARROW)}"
+            )
+            return f"({inner})" if prec > _PREC_ARROW else inner
+        if ty.con == PRODUCT:
+            left, right = ty.args
+            inner = (
+                f"{format_type(left, _PREC_APP)} * {format_type(right, _PREC_APP)}"
+            )
+            return f"({inner})" if prec > _PREC_PRODUCT else inner
+        if not ty.args:
+            return ty.con
+        args = " ".join(format_type(arg, _PREC_ATOM) for arg in ty.args)
+        inner = f"{ty.con} {args}"
+        return f"({inner})" if prec > _PREC_APP else inner
+    raise TypeError(f"not a type: {ty!r}")

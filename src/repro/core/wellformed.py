@@ -1,0 +1,178 @@
+"""Kinding and well-scopedness judgements (paper Figures 4, 9, 12).
+
+* :func:`kind_of` implements the refined kinding relation ``Theta |- A : K``
+  of Figure 12 (which subsumes the object-language rules of Figure 4 when
+  every variable has kind MONO).  It returns the *least* kind of the type:
+  MONO when the type is quantifier-free and mentions only MONO variables,
+  POLY otherwise; the Upcast rule means a MONO type also has kind POLY.
+
+* :func:`check_kind` asserts ``A`` has (at most) a requested kind.
+
+* :func:`env_well_formed` implements ``Theta |- Gamma`` (Figure 12 right):
+  every type is well-kinded at POLY and -- crucially for "never guess
+  polymorphism" -- every *free* variable of an environment type must have
+  kind MONO.
+
+* :func:`well_scoped` implements ``Delta |> M`` (Figure 9): annotations
+  are well-kinded, and annotation variables are only used where bound
+  (scoped type variables, Section 3.2).
+"""
+
+from __future__ import annotations
+
+from .env import TypeEnv
+from .kinds import Kind, KindEnv
+from .terms import (
+    App,
+    Lam,
+    LamAnn,
+    Let,
+    LetAnn,
+    LITERALS,
+    Term,
+    Var,
+    FrozenVar,
+)
+from .types import TCon, TForall, TVar, Type, constructor_arity, ftv, split_foralls
+from ..errors import KindError, ScopeError
+from .terms import is_guarded_value
+
+
+def kind_of(env: KindEnv, ty: Type) -> Kind:
+    """The least kind ``K`` with ``env |- ty : K``; raises KindError."""
+    if isinstance(ty, TVar):
+        kind = env.lookup(ty.name)
+        if kind is None:
+            raise KindError(f"unbound type variable: {ty.name}")
+        return kind
+    if isinstance(ty, TCon):
+        arity = constructor_arity(ty.con)
+        if arity is None:
+            raise KindError(f"unknown type constructor: {ty.con}")
+        if arity != len(ty.args):
+            raise KindError(
+                f"constructor {ty.con} expects {arity} arguments, got {len(ty.args)}"
+            )
+        kind = Kind.MONO
+        for arg in ty.args:
+            kind = kind.join(kind_of(env, arg))
+        return kind
+    if isinstance(ty, TForall):
+        body_env = env.remove([ty.var]).extend(ty.var, Kind.MONO)
+        kind_of(body_env, ty.body)  # must be well-formed
+        return Kind.POLY
+    raise TypeError(f"not a type: {ty!r}")
+
+
+def check_kind(env: KindEnv, ty: Type, kind: Kind) -> None:
+    """Assert ``env |- ty : kind`` (using Upcast); raise KindError if not."""
+    actual = kind_of(env, ty)
+    if not actual.leq(kind):
+        raise KindError(f"type `{ty}` has kind {actual}, expected {kind}")
+
+
+def is_well_kinded(env: KindEnv, ty: Type, kind: Kind = Kind.POLY) -> bool:
+    """Boolean form of :func:`check_kind`."""
+    try:
+        check_kind(env, ty, kind)
+    except KindError:
+        return False
+    return True
+
+
+def env_well_formed(kenv: KindEnv, tenv: TypeEnv) -> None:
+    """The judgement ``Theta |- Gamma`` (Figure 12, Extend rule).
+
+    Every binding's type must be well-kinded, and every free type variable
+    of the binding must have kind MONO in ``kenv``.  This is the invariant
+    that prevents substitution from smuggling polymorphism into the
+    environment.
+    """
+    for name, ty in tenv.items():
+        check_kind(kenv, ty, Kind.POLY)
+        for var in ftv(ty):
+            if kenv.kind_of(var) is not Kind.MONO:
+                raise KindError(
+                    f"environment entry {name} : {ty} mentions type variable "
+                    f"`{var}` of kind {Kind.POLY} (must be {Kind.MONO})"
+                )
+
+
+def is_env_well_formed(kenv: KindEnv, tenv: TypeEnv) -> bool:
+    try:
+        env_well_formed(kenv, tenv)
+    except KindError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Well-scopedness  Delta |> M  (Figure 9)
+# ---------------------------------------------------------------------------
+
+
+def split_annotation(ann: Type, bound: Term) -> tuple[tuple[str, ...], Type]:
+    """The paper's ``split(A, M)`` (Figure 8).
+
+    For a guarded value the top-level quantifiers of the annotation are
+    attributed to generalisation (and scope over ``M``); otherwise all
+    polymorphism must come from ``M`` itself and nothing is split off.
+    """
+    if is_guarded_value(bound):
+        return split_foralls(ann)
+    return (), ann
+
+
+def well_scoped(delta: KindEnv, term: Term) -> None:
+    """Check ``Delta |> M``; raise :class:`ScopeError` on failure.
+
+    Annotation types must be well-kinded in the ambient rigid environment;
+    an annotated let whose bound term is a guarded value brings the
+    annotation's top-level quantifiers into scope for the bound term
+    (scoped type variables).
+    """
+    if isinstance(term, (Var, FrozenVar, *LITERALS)):
+        return
+    if isinstance(term, Lam):
+        well_scoped(delta, term.body)
+        return
+    if isinstance(term, LamAnn):
+        _check_annotation(delta, term.ann, term)
+        well_scoped(delta, term.body)
+        return
+    if isinstance(term, App):
+        well_scoped(delta, term.fn)
+        well_scoped(delta, term.arg)
+        return
+    if isinstance(term, Let):
+        well_scoped(delta, term.bound)
+        well_scoped(delta, term.body)
+        return
+    if isinstance(term, LetAnn):
+        _check_annotation(delta, term.ann, term)
+        binders, _ = split_annotation(term.ann, term.bound)
+        if not delta.disjoint(binders):
+            raise ScopeError(
+                f"annotation `{term.ann}` rebinds type variables already in "
+                f"scope: {sorted(set(binders) & set(delta.names()))}"
+            )
+        inner = delta.extend_all(binders, Kind.MONO)
+        well_scoped(inner, term.bound)
+        well_scoped(delta, term.body)
+        return
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _check_annotation(delta: KindEnv, ann: Type, term: Term) -> None:
+    try:
+        check_kind(delta, ann, Kind.POLY)
+    except KindError as exc:
+        raise ScopeError(f"ill-scoped annotation in `{term}`: {exc}") from exc
+
+
+def is_well_scoped(delta: KindEnv, term: Term) -> bool:
+    try:
+        well_scoped(delta, term)
+    except ScopeError:
+        return False
+    return True

@@ -1,0 +1,13 @@
+"""The paper's evaluation corpus: Figure 2 prelude and Figure 1 examples."""
+
+from .signatures import prelude, prelude_with
+from .examples import EXAMPLES, BAD_EXAMPLES, Example, examples_in_section
+
+__all__ = [
+    "prelude",
+    "prelude_with",
+    "EXAMPLES",
+    "BAD_EXAMPLES",
+    "Example",
+    "examples_in_section",
+]

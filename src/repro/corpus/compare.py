@@ -1,0 +1,23 @@
+"""Comparing inferred types against the paper's reported types.
+
+Two types are *equivalent* when they are alpha-equal after renaming their
+free variables, in first-occurrence order, to a canonical sequence.  This
+matches how Figure 1 reports types: free (flexible) variables are shown
+with arbitrary letters (``choose id : (a -> a) -> (a -> a)``), while
+quantifier order is significant.
+"""
+
+from __future__ import annotations
+
+from ..core.types import Type, alpha_equal, ftv, rename
+
+
+def canonicalise_free(ty: Type) -> Type:
+    """Rename free variables to position markers, in occurrence order."""
+    mapping = {name: f"\x01{i}" for i, name in enumerate(ftv(ty))}
+    return rename(ty, mapping)
+
+
+def equivalent_types(left: Type, right: Type) -> bool:
+    """Alpha-equality up to consistent renaming of free variables."""
+    return alpha_equal(canonicalise_free(left), canonicalise_free(right))

@@ -1,0 +1,248 @@
+"""Figure 1: the paper's example programs, with expected outcomes.
+
+Sections A-E are taken (by the paper) from Serrano et al. [24]; section F
+contains FreezeML-specific programs.  An example marked ``variant`` is a
+``•`` row (same program with extra freeze/generalise/instantiate
+operators); ``mandatory`` is a ``⋆`` row (the operators are required for
+the program to typecheck at all); ``no-vr`` is the ``†`` row F10, which
+typechecks only without the value restriction.
+
+``expected`` is the paper's reported type in surface syntax, or ``None``
+for ``✕`` (ill-typed).  Free (flexible) variables in expected types are
+compared up to consistent renaming; quantified types up to alpha.
+
+Section G collects the negative examples ``bad``, ``bad1``-``bad6`` from
+Sections 2 and 3.2, and section T the smaller programs discussed in the
+Section 2 prose (ordered quantifiers, ``auto id`` vs ``auto ~id``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.env import TypeEnv
+from ..core.terms import Term
+from ..core.types import Type
+from ..syntax.parser import parse_term, parse_type
+from .signatures import prelude
+
+
+@dataclass(frozen=True)
+class Example:
+    """One corpus entry."""
+
+    id: str
+    section: str
+    source: str
+    expected: str | None  # surface type, or None for ill-typed (✕)
+    mode: str = "term"  # "term" or "definition" (F1-F4 are definitions)
+    extra_env: tuple[tuple[str, str], ...] = ()
+    flag: str = ""  # "", "variant" (•), "mandatory" (⋆), "no-vr" (†)
+    note: str = ""
+
+    def term(self) -> Term:
+        return parse_term(self.source)
+
+    def env(self) -> TypeEnv:
+        env = prelude()
+        for name, ty_src in self.extra_env:
+            env = env.extend(name, parse_type(ty_src))
+        return env
+
+    def expected_type(self) -> Type | None:
+        return parse_type(self.expected) if self.expected is not None else None
+
+    @property
+    def well_typed(self) -> bool:
+        return self.expected is not None
+
+
+_E = Example
+
+_F_A9 = (("f", "forall a. (a -> a) -> List a -> a"),)
+_G_C8 = (("g", "forall a. List a -> List a -> a"),)
+_KHL = (
+    ("k", "forall a. a -> List a -> a"),
+    ("h", "Int -> forall a. a -> a"),
+    ("l", "List (forall a. Int -> a -> a)"),
+)
+_R_E3 = (("r", "(forall a. a -> forall b. b -> b) -> Int"),)
+_F_ORD = (("f", "(forall a b. a -> b -> a * b) -> Int"),)
+_BOT = (("bot", "forall a. a"),)
+
+EXAMPLES: tuple[Example, ...] = (
+    # -- A: polymorphic instantiation ------------------------------------
+    _E("A1", "A", "fun x y -> y", "a -> b -> b"),
+    _E("A1*", "A", "$(fun x y -> y)", "forall a b. a -> b -> b", flag="variant"),
+    _E("A2", "A", "choose id", "(a -> a) -> a -> a"),
+    _E(
+        "A2*", "A", "choose ~id",
+        "(forall a. a -> a) -> forall a. a -> a", flag="variant",
+    ),
+    _E("A3", "A", "choose [] ids", "List (forall a. a -> a)"),
+    _E(
+        "A4", "A", "fun (x : forall a. a -> a) -> x x",
+        "(forall a. a -> a) -> b -> b",
+    ),
+    _E(
+        "A4*", "A", "fun (x : forall a. a -> a) -> x ~x",
+        "(forall a. a -> a) -> forall a. a -> a", flag="variant",
+    ),
+    _E("A5", "A", "id auto", "(forall a. a -> a) -> forall a. a -> a"),
+    _E("A6", "A", "id auto'", "(forall a. a -> a) -> b -> b"),
+    _E(
+        "A6*", "A", "id ~auto'",
+        "forall b. (forall a. a -> a) -> b -> b", flag="variant",
+    ),
+    _E("A7", "A", "choose id auto", "(forall a. a -> a) -> forall a. a -> a"),
+    _E("A8", "A", "choose id auto'", None),
+    _E(
+        "A9", "A", "f (choose ~id) ids", "forall a. a -> a",
+        extra_env=_F_A9, flag="mandatory",
+    ),
+    _E("A10", "A", "poly ~id", "Int * Bool", flag="mandatory"),
+    _E("A11", "A", "poly $(fun x -> x)", "Int * Bool", flag="mandatory"),
+    _E("A12", "A", "id poly $(fun x -> x)", "Int * Bool", flag="mandatory"),
+    # -- B: inference with polymorphic arguments --------------------------
+    _E(
+        "B1", "B", "fun (f : forall a. a -> a) -> (f 1, f true)",
+        "(forall a. a -> a) -> Int * Bool", flag="mandatory",
+    ),
+    _E(
+        "B2", "B", "fun (xs : List (forall a. a -> a)) -> poly (head xs)",
+        "List (forall a. a -> a) -> Int * Bool", flag="mandatory",
+    ),
+    # -- C: functions on polymorphic lists --------------------------------
+    _E("C1", "C", "length ids", "Int"),
+    _E("C2", "C", "tail ids", "List (forall a. a -> a)"),
+    _E("C3", "C", "head ids", "forall a. a -> a"),
+    _E("C4", "C", "single id", "List (a -> a)"),
+    _E("C4*", "C", "single ~id", "List (forall a. a -> a)", flag="variant"),
+    _E("C5", "C", "~id :: ids", "List (forall a. a -> a)", flag="mandatory"),
+    _E(
+        "C6", "C", "$(fun x -> x) :: ids", "List (forall a. a -> a)",
+        flag="mandatory",
+    ),
+    _E("C7", "C", "single inc ++ single id", "List (Int -> Int)"),
+    _E(
+        "C8", "C", "g (single ~id) ids", "forall a. a -> a",
+        extra_env=_G_C8, flag="mandatory",
+    ),
+    _E(
+        "C9", "C", "map poly (single ~id)", "List (Int * Bool)",
+        flag="mandatory",
+    ),
+    _E("C10", "C", "map head (single ids)", "List (forall a. a -> a)"),
+    # -- D: application functions ------------------------------------------
+    _E("D1", "D", "app poly ~id", "Int * Bool", flag="mandatory"),
+    _E("D2", "D", "revapp ~id poly", "Int * Bool", flag="mandatory"),
+    _E("D3", "D", "runST ~argST", "Int", flag="mandatory"),
+    _E("D4", "D", "app runST ~argST", "Int", flag="mandatory"),
+    _E("D5", "D", "revapp ~argST runST", "Int", flag="mandatory"),
+    # -- E: eta-expansion ----------------------------------------------------
+    _E("E1", "E", "k h l", None, extra_env=_KHL),
+    _E(
+        "E2", "E", "k $(fun x -> (h x)@) l", "forall a. Int -> a -> a",
+        extra_env=_KHL, flag="mandatory",
+    ),
+    _E("E3", "E", "r (fun x y -> y)", None, extra_env=_R_E3),
+    _E(
+        "E3*", "E", "r $(fun x -> $(fun y -> y))", "Int",
+        extra_env=_R_E3, flag="variant",
+    ),
+    # -- F: FreezeML programs -------------------------------------------------
+    _E("F1", "F", "$(fun x -> x)", "forall a. a -> a", mode="definition"),
+    _E("F2", "F", "[~id]", "List (forall a. a -> a)", mode="definition"),
+    _E(
+        "F3", "F", "fun (x : forall a. a -> a) -> x ~x",
+        "(forall a. a -> a) -> forall a. a -> a", mode="definition",
+    ),
+    _E(
+        "F4", "F", "fun (x : forall a. a -> a) -> x x",
+        "forall b. (forall a. a -> a) -> b -> b", mode="definition",
+    ),
+    _E("F5", "F", "auto ~id", "forall a. a -> a", flag="mandatory"),
+    _E("F6", "F", "(head ids) :: ids", "List (forall a. a -> a)"),
+    _E("F7", "F", "(head ids)@ 3", "Int", flag="mandatory"),
+    _E(
+        "F8", "F", "choose (head ids)",
+        "(forall a. a -> a) -> forall a. a -> a",
+    ),
+    _E("F8*", "F", "choose (head ids)@", "(a -> a) -> a -> a", flag="variant"),
+    _E(
+        "F9", "F", "let f = revapp ~id in f poly", "Int * Bool",
+    ),
+    _E(
+        "F10", "F",
+        "choose id (fun (x : forall a. a -> a) -> $(auto' ~x))",
+        "(forall a. a -> a) -> forall a. a -> a",
+        flag="no-vr",
+        note=(
+            "typechecks only without the value restriction (Section 3.2). "
+            "The arXiv text renders the body as $(auto' x), but a plain "
+            "occurrence of x : forall a. a -> a is always instantiated to "
+            "an arrow by the Var rule, so auto' x cannot typecheck in any "
+            "variant; the freeze brackets around x were lost in extraction."
+        ),
+    ),
+)
+
+# -- Section 2 prose examples ------------------------------------------------
+
+TEXT_EXAMPLES: tuple[Example, ...] = (
+    _E("T-single-choose", "T", "single choose", "List (a -> a -> a)"),
+    _E(
+        "T-single-choose*", "T", "single ~choose",
+        "List (forall a. a -> a -> a)", flag="variant",
+    ),
+    _E("T-auto-id", "T", "auto id", None),
+    _E("T-auto-id*", "T", "auto ~id", "forall a. a -> a", flag="variant"),
+    _E("T-head-ids-42", "T", "let x = head ids in x 42", "Int"),
+    _E("T-pair-frozen", "T", "f ~pair", "Int", extra_env=_F_ORD),
+    _E("T-pair-gen", "T", "f $pair", "Int", extra_env=_F_ORD),
+    _E("T-pair'-gen", "T", "f $pair'", "Int", extra_env=_F_ORD),
+    _E("T-pair'-frozen", "T", "f ~pair'", None, extra_env=_F_ORD,
+       note="quantifier order matters: forall b a /= forall a b"),
+    _E(
+        "T-poly-gen-lambda", "T", "poly $(fun x -> x)", "Int * Bool",
+    ),
+    _E(
+        "T-scoped-tyvars", "T",
+        "let (f : forall a. a -> a) = fun (x : a) -> x in f 3",
+        "Int",
+        note="annotation variables scope over the bound term (Section 3.2)",
+    ),
+)
+
+# -- The negative suite of Sections 2 and 3.2 ---------------------------------
+
+BAD_EXAMPLES: tuple[Example, ...] = (
+    _E("bad", "G", "fun f -> (f 42, f true)", None,
+       note="unannotated parameter used at two types"),
+    _E("bad1", "G", "fun f -> (poly ~f, (f 42) + 1)", None,
+       note="left-to-right would guess polymorphism"),
+    _E("bad2", "G", "fun f -> ((f 42) + 1, poly ~f)", None,
+       note="right-to-left would guess polymorphism"),
+    _E("bad3", "G",
+       "fun (bot : forall a. a) -> let f = bot bot in (poly ~f, (f 42) + 1)",
+       None, extra_env=_BOT, note="non-value let must stay monomorphic"),
+    _E("bad4", "G",
+       "fun (bot : forall a. a) -> let f = bot bot in ((f 42) + 1, poly ~f)",
+       None, extra_env=_BOT),
+    _E("bad5", "G", "let f = fun x -> x in ~f 42", None,
+       note="principal type for f is polymorphic; application cannot instantiate"),
+    _E("bad6", "G", "let f = fun x -> x in id ~f 42", None),
+)
+
+ALL_EXAMPLES: tuple[Example, ...] = EXAMPLES + TEXT_EXAMPLES + BAD_EXAMPLES
+
+
+def examples_in_section(section: str) -> tuple[Example, ...]:
+    return tuple(e for e in ALL_EXAMPLES if e.section == section)
+
+
+def example_by_id(example_id: str) -> Example:
+    for example in ALL_EXAMPLES:
+        if example.id == example_id:
+            return example
+    raise KeyError(example_id)

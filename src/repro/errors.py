@@ -1,0 +1,112 @@
+"""Exception hierarchy for the FreezeML reproduction.
+
+Every failure mode of the paper's partial functions (kinding, unification,
+inference -- Figures 15 and 16 are explicitly partial) is modelled as an
+exception deriving from :class:`FreezeMLError`, so callers can catch the
+whole family or discriminate precisely in tests.
+"""
+
+from __future__ import annotations
+
+
+class FreezeMLError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(FreezeMLError):
+    """Raised by the lexer/parser on malformed surface syntax."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = f" at {line}:{column}" if line is not None else ""
+        super().__init__(f"parse error{location}: {message}")
+
+
+class KindError(FreezeMLError):
+    """A type is ill-kinded (Figure 4 / Figure 12 rejected it)."""
+
+
+class ScopeError(FreezeMLError):
+    """A term is not well-scoped (the judgement ``Delta |> M`` of Figure 9)."""
+
+
+class TypeInferenceError(FreezeMLError):
+    """Base class for failures of ``unify``/``infer`` (Figures 15, 16)."""
+
+
+class UnboundVariableError(TypeInferenceError):
+    """A term variable has no binding in the type environment."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unbound variable: {name}")
+
+
+class UnificationError(TypeInferenceError):
+    """Two types could not be unified."""
+
+    def __init__(self, left, right, reason: str = ""):
+        self.left = left
+        self.right = right
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"cannot unify `{left}` with `{right}`{detail}")
+
+
+class OccursCheckError(UnificationError):
+    """A flexible variable occurs in the type it would be bound to."""
+
+    def __init__(self, var: str, ty):
+        self.var = var
+        self.ty = ty
+        TypeInferenceError.__init__(
+            self, f"occurs check failed: `{var}` occurs in `{ty}`"
+        )
+        self.left = var
+        self.right = ty
+
+
+class SkolemEscapeError(TypeInferenceError):
+    """A rigid (skolem or annotation-bound) variable escaped its scope.
+
+    Raised by the quantifier case of unification (``assert c not in
+    ftv(theta)``) and by the annotated-let rule (``assert ftv(theta2) #
+    Delta'``).
+    """
+
+    def __init__(self, var: str, context: str = ""):
+        self.var = var
+        detail = f" in {context}" if context else ""
+        super().__init__(f"rigid type variable `{var}` would escape its scope{detail}")
+
+
+class MonomorphismError(TypeInferenceError):
+    """A kind-`mono` flexible variable was asked to become polymorphic.
+
+    This is the "never guess polymorphism" invariant of Section 3.2 biting:
+    e.g. an unannotated lambda parameter used at a polymorphic type.
+    """
+
+    def __init__(self, var: str, ty):
+        self.var = var
+        self.ty = ty
+        super().__init__(
+            f"monomorphic type variable `{var}` cannot be unified with "
+            f"polymorphic type `{ty}` (unannotated binders must be monomorphic)"
+        )
+
+
+class AnnotationError(TypeInferenceError):
+    """An explicit type annotation did not match the inferred type."""
+
+
+class SystemFTypeError(FreezeMLError):
+    """A System F term failed to typecheck (Figure 18)."""
+
+
+class MLTypeError(FreezeMLError):
+    """A mini-ML term failed to typecheck (Figure 21)."""
+
+
+class EvaluationError(FreezeMLError):
+    """Runtime failure in one of the evaluators (ill-typed program run)."""

@@ -1,0 +1,21 @@
+"""Optional extensions discussed in the paper (Sections 3.2 and 6)."""
+
+from .pervasive import FreezeTerm, PervasiveInferencer, infer_type_pervasive
+from .strategies import infer_with_strategy, STRATEGIES
+from .type_application import TyApp, TypeApplicationInferencer, infer_type_vta
+from .toplevel import Definition, desugar_program, parse_program, infer_program
+
+__all__ = [
+    "Definition",
+    "FreezeTerm",
+    "PervasiveInferencer",
+    "STRATEGIES",
+    "TyApp",
+    "TypeApplicationInferencer",
+    "desugar_program",
+    "infer_program",
+    "infer_type_pervasive",
+    "infer_type_vta",
+    "infer_with_strategy",
+    "parse_program",
+]

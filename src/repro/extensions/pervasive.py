@@ -1,0 +1,106 @@
+"""Pervasive instantiation (paper Section 3.2, third strategy).
+
+"Another possibility is to instantiate all terms, except those that are
+explicitly frozen or generalised.  Here, it also makes sense to extend
+the ``⌈−⌉`` operator to act on arbitrary terms."
+
+The paper defers this strategy (its *declarative* account needs two
+mutually recursive judgements) but it is algorithmically a small layer
+over Figure 16: after inferring any term's type, instantiate its
+top-level quantifiers with fresh flexible variables -- unless the term
+is a frozen variable, a frozen *term* ``⌈M⌉`` (the new construct), or a
+generalisation ``$V`` / ``$(V : A)``.
+
+Consequences, which the tests check:
+
+* ``(head ids) 42`` typechecks (like eliminator instantiation);
+* ``head ids`` now has type ``a -> a``, not ``forall a. a -> a`` --
+  explicit generalisation becomes necessary where it wasn't before;
+* ``⌈head ids⌉`` recovers the Figure 1 behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.env import TypeEnv
+from ..core.infer import Inferencer, normalise_type
+from ..core.kinds import Kind, KindEnv
+from ..core.subst import instantiation_from
+from ..core.terms import (
+    FrozenVar,
+    Term,
+    format_term,
+    match_generalise,
+    match_generalise_ann,
+)
+from ..core.types import TForall, TVar, Type, split_foralls
+
+
+@dataclass(frozen=True, repr=False, slots=True)
+class FreezeTerm(Term):
+    """The generalised freeze operator ``⌈M⌉`` on arbitrary terms."""
+
+    body: Term
+
+    def __str__(self) -> str:
+        return f"~({format_term(self.body)})"
+
+
+class PervasiveInferencer(Inferencer):
+    """Figure 16 with instantiation applied to every non-frozen term."""
+
+    def infer(self, delta, theta, gamma, term):
+        if isinstance(term, FreezeTerm):
+            # The frozen term keeps its quantifiers; its *subterms* are
+            # still inferred under the pervasive regime (the recursion
+            # below dispatches back into this class).
+            inner = term.body
+            while isinstance(inner, FreezeTerm):
+                inner = inner.body
+            return super().infer(delta, theta, gamma, inner)
+
+        theta1, subst, ty, payload = super().infer(delta, theta, gamma, term)
+        if self._keeps_quantifiers(term) or not isinstance(ty, TForall):
+            return theta1, subst, ty, payload
+
+        prefix, body = split_foralls(ty)
+        fresh = tuple(self.supply.fresh_flexible() for _ in prefix)
+        theta2 = theta1.extend_all(fresh, Kind.POLY)
+        inst = instantiation_from(prefix, [TVar(f) for f in fresh])
+        payload = self.elaborator.inst(payload, tuple(TVar(f) for f in fresh))
+        return theta2, subst, inst(body), payload
+
+    @staticmethod
+    def _keeps_quantifiers(term: Term) -> bool:
+        """Frozen or generalised terms escape pervasive instantiation."""
+        if isinstance(term, (FrozenVar, FreezeTerm)):
+            return True
+        if match_generalise(term) is not None:
+            return True
+        if match_generalise_ann(term) is not None:
+            return True
+        return False
+
+
+def infer_type_pervasive(
+    term: Term,
+    env: TypeEnv | None = None,
+    delta: KindEnv | None = None,
+    *,
+    normalise: bool = True,
+    **options,
+) -> Type:
+    """Infer under pervasive instantiation.
+
+    ``FreezeTerm`` nodes are not part of the core well-scopedness
+    judgement, so annotations inside them are kind-checked during
+    inference (as for visible type application).
+    """
+    env = env or TypeEnv.empty()
+    delta = delta or KindEnv.empty()
+    inferencer = PervasiveInferencer(**options)
+    _theta, _subst, ty, _payload = inferencer.infer(
+        delta, KindEnv.empty(), env, term
+    )
+    return normalise_type(ty) if normalise else ty

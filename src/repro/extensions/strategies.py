@@ -1,0 +1,38 @@
+"""Instantiation strategies (paper Section 3.2, "Instantiation strategies").
+
+The formal system instantiates *variables only*.  The paper sketches two
+alternatives and notes the Links implementation supports the first:
+
+* **eliminator instantiation** -- terms in (monomorphic) elimination
+  position, in particular application position, are implicitly
+  instantiated.  This types ``bad5 = let f = fun x -> x in ~f 42``
+  without compromising completeness.
+
+* **pervasive instantiation** -- all terms are instantiated unless
+  frozen; the paper defers this (it needs two mutually recursive typing
+  judgements) and so do we.
+
+Eliminator instantiation is implemented inside the core inferencer (the
+``strategy`` option); this module gives it a stable, documented surface.
+"""
+
+from __future__ import annotations
+
+from ..core.env import TypeEnv
+from ..core.infer import ELIMINATOR, VARIABLE, infer_type
+from ..core.kinds import KindEnv
+from ..core.terms import Term
+from ..core.types import Type
+
+STRATEGIES = (VARIABLE, ELIMINATOR)
+
+
+def infer_with_strategy(
+    strategy: str,
+    term: Term,
+    env: TypeEnv | None = None,
+    delta: KindEnv | None = None,
+    **options,
+) -> Type:
+    """Infer under a named instantiation strategy."""
+    return infer_type(term, env, delta, strategy=strategy, **options)

@@ -1,0 +1,134 @@
+"""Top-level programs with function signatures (paper Section 6).
+
+In Links (and other functional languages) one writes::
+
+    f : forall a. A -> B -> C
+    f x y = M
+    N
+
+which the paper treats as::
+
+    let (f : forall a. A -> B -> C) = fun (x : A) -> fun (y : B) -> M in N
+
+Note the parameters pick up their types from the signature, and the
+signature's top-level quantifiers scope over the body (scoped type
+variables) because the desugared bound term is a guarded value.
+
+This module implements that sugar over a small program format::
+
+    sig f : forall a. a -> a
+    def f x = x
+    def twice = f (f 2)
+    main = twice + 1
+
+(`sig` lines are optional; `def` without a matching `sig` desugars to an
+unannotated let.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.env import TypeEnv
+from ..core.infer import infer_type
+from ..core.kinds import KindEnv
+from ..core.terms import Lam, LamAnn, Let, LetAnn, Term
+from ..core.types import ARROW, TCon, Type, split_foralls
+from ..errors import ParseError
+from ..syntax.parser import parse_term, parse_type
+
+
+@dataclass(frozen=True)
+class Definition:
+    """A top-level definition ``name params... = body`` with optional sig."""
+
+    name: str
+    params: tuple[str, ...]
+    body: Term
+    signature: Type | None = None
+
+    def desugar_bound(self) -> Term:
+        """Build the lambda for the right-hand side.
+
+        With a signature, parameters are annotated with the argument
+        types peeled off the signature body (the quantifiers scope over
+        them); without one, parameters are plain lambdas.
+        """
+        if self.signature is None:
+            term = self.body
+            for param in reversed(self.params):
+                term = Lam(param, term)
+            return term
+        _quants, sig_body = split_foralls(self.signature)
+        param_types: list[Type] = []
+        remaining = sig_body
+        for param in self.params:
+            if not (isinstance(remaining, TCon) and remaining.con == ARROW):
+                raise ParseError(
+                    f"signature of {self.name} has fewer arrows than parameters"
+                )
+            param_types.append(remaining.args[0])
+            remaining = remaining.args[1]
+        term = self.body
+        for param, ty in zip(reversed(self.params), reversed(param_types)):
+            term = LamAnn(param, ty, term)
+        return term
+
+
+def desugar_program(definitions: list[Definition], main: Term) -> Term:
+    """Nest the definitions around ``main`` as (annotated) lets."""
+    term = main
+    for definition in reversed(definitions):
+        bound = definition.desugar_bound()
+        if definition.signature is None:
+            term = Let(definition.name, bound, term)
+        else:
+            term = LetAnn(definition.name, definition.signature, bound, term)
+    return term
+
+
+def parse_program(source: str) -> tuple[list[Definition], Term]:
+    """Parse the ``sig``/``def``/``main`` program format."""
+    signatures: dict[str, Type] = {}
+    definitions: list[Definition] = []
+    main: Term | None = None
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("sig "):
+            name, _, ty_src = line[4:].partition(":")
+            name = name.strip()
+            if not name or not ty_src.strip():
+                raise ParseError("malformed sig line", lineno, 1)
+            signatures[name] = parse_type(ty_src.strip())
+        elif line.startswith("def "):
+            lhs, _, rhs = line[4:].partition("=")
+            words = lhs.split()
+            if not words or not rhs.strip():
+                raise ParseError("malformed def line", lineno, 1)
+            name, params = words[0], tuple(words[1:])
+            definitions.append(
+                Definition(name, params, parse_term(rhs.strip()), signatures.get(name))
+            )
+        elif line.startswith("main"):
+            _, _, rhs = line.partition("=")
+            if not rhs.strip():
+                raise ParseError("malformed main line", lineno, 1)
+            main = parse_term(rhs.strip())
+        else:
+            raise ParseError(f"unrecognised program line: {line!r}", lineno, 1)
+    if main is None:
+        raise ParseError("program has no main")
+    return definitions, main
+
+
+def infer_program(
+    source: str,
+    env: TypeEnv | None = None,
+    delta: KindEnv | None = None,
+    **options,
+) -> Type:
+    """Parse, desugar and infer a whole program's type."""
+    definitions, main = parse_program(source)
+    return infer_type(desugar_program(definitions, main), env, delta, **options)

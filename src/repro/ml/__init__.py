@@ -1,0 +1,7 @@
+"""Mini-ML (paper Appendix B.2): the calculus FreezeML conservatively extends."""
+
+from .syntax import is_ml_term
+from .typecheck import ml_infer_type, ml_typecheck
+from .translate import ml_to_system_f
+
+__all__ = ["is_ml_term", "ml_infer_type", "ml_typecheck", "ml_to_system_f"]

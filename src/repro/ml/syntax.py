@@ -1,0 +1,55 @@
+"""Mini-ML syntax (paper Figure 20).
+
+ML terms are exactly the FreezeML terms without freezing and without
+annotations::
+
+    M, N ::= x | fun x -> M | M N | let x = M in N
+
+so we reuse the FreezeML AST and characterise the fragment predicatively.
+ML type schemes ``forall a1 ... an. S`` are represented as ordinary
+``TForall`` chains whose body is a monotype.
+"""
+
+from __future__ import annotations
+
+from ..core.terms import (
+    App,
+    BoolLit,
+    IntLit,
+    Lam,
+    Let,
+    StrLit,
+    Term,
+    Var,
+)
+from ..core.types import Type, is_monotype, split_foralls
+
+ML_TERM_CLASSES = (Var, Lam, App, Let, IntLit, BoolLit, StrLit)
+
+
+def is_ml_term(term: Term) -> bool:
+    """Is ``term`` in the mini-ML fragment (Figure 20)?"""
+    if isinstance(term, (Var, IntLit, BoolLit, StrLit)):
+        return True
+    if isinstance(term, Lam):
+        return is_ml_term(term.body)
+    if isinstance(term, App):
+        return is_ml_term(term.fn) and is_ml_term(term.arg)
+    if isinstance(term, Let):
+        return is_ml_term(term.bound) and is_ml_term(term.body)
+    return False
+
+
+def is_ml_scheme(ty: Type) -> bool:
+    """Is ``ty`` an ML type scheme ``forall as. S`` (S a monotype)?"""
+    _, body = split_foralls(ty)
+    return is_monotype(body)
+
+
+def is_ml_value(term: Term) -> bool:
+    """ML values (Figure 20): variables, lambdas, lets of values."""
+    if isinstance(term, (Var, Lam, IntLit, BoolLit, StrLit)):
+        return True
+    if isinstance(term, Let):
+        return is_ml_value(term.bound) and is_ml_value(term.body)
+    return False

@@ -1,0 +1,119 @@
+"""ML to System F translation (paper Figure 22, Appendix B.3).
+
+Variables become type applications recording their instantiation; value
+lets become generalised System F lets.  Like ``C[[-]]`` the translation
+is type-directed, so it is implemented as a W pass that builds the
+System F image alongside, with a final zonking step.
+
+Theorem 8: the image typechecks in System F at the ML type.
+"""
+
+from __future__ import annotations
+
+from ..core.env import TypeEnv
+from ..core.subst import Subst
+from ..core.terms import (
+    App,
+    BoolLit,
+    IntLit,
+    Lam,
+    Let,
+    StrLit,
+    Term,
+    Var,
+)
+from ..core.types import TCon, TVar, Type, forall, ftv, split_foralls
+from ..errors import MLTypeError, UnboundVariableError
+from ..names import NameSupply
+from ..systemf.syntax import (
+    FBoolLit,
+    FIntLit,
+    FLam,
+    FStrLit,
+    FTerm,
+    FApp,
+    FVar,
+    flet,
+    ftyabs,
+    ftyapps,
+    map_types,
+)
+from .syntax import is_ml_scheme, is_ml_value
+from .typecheck import ml_unify
+
+
+class _TranslatingW:
+    """Algorithm W producing a System F term alongside the type."""
+
+    def __init__(self):
+        self.supply = NameSupply()
+
+    def infer(self, gamma: TypeEnv, term: Term) -> tuple[Subst, Type, FTerm]:
+        if isinstance(term, Var):
+            try:
+                scheme = gamma.lookup(term.name)
+            except UnboundVariableError as exc:
+                raise MLTypeError(str(exc)) from exc
+            if not is_ml_scheme(scheme):
+                raise MLTypeError(f"`{term.name} : {scheme}` is not an ML scheme")
+            names, body = split_foralls(scheme)
+            fresh = [TVar(self.supply.fresh_flexible()) for _ in names]
+            inst = Subst(dict(zip(names, fresh)))
+            return Subst.identity(), inst(body), ftyapps(FVar(term.name), fresh)
+        if isinstance(term, IntLit):
+            return Subst.identity(), TCon("Int"), FIntLit(term.value)
+        if isinstance(term, BoolLit):
+            return Subst.identity(), TCon("Bool"), FBoolLit(term.value)
+        if isinstance(term, StrLit):
+            return Subst.identity(), TCon("String"), FStrLit(term.value)
+        if isinstance(term, Lam):
+            param = TVar(self.supply.fresh_flexible())
+            subst, body_ty, body_f = self.infer(
+                gamma.extend(term.param, param), term.body
+            )
+            param_ty = subst(param)
+            return (
+                subst,
+                TCon("->", (param_ty, body_ty)),
+                FLam(term.param, param_ty, body_f),
+            )
+        if isinstance(term, App):
+            subst1, fn_ty, fn_f = self.infer(gamma, term.fn)
+            subst2, arg_ty, arg_f = self.infer(gamma.map_types(subst1), term.arg)
+            result = TVar(self.supply.fresh_flexible())
+            subst3 = ml_unify(subst2(fn_ty), TCon("->", (arg_ty, result)), frozenset())
+            return (
+                subst3.compose(subst2).compose(subst1),
+                subst3(result),
+                FApp(fn_f, arg_f),
+            )
+        if isinstance(term, Let):
+            subst1, bound_ty, bound_f = self.infer(gamma, term.bound)
+            gamma1 = gamma.map_types(subst1)
+            if is_ml_value(term.bound):
+                env_vars = gamma1.free_type_vars()
+                names = tuple(v for v in ftv(bound_ty) if v not in env_vars)
+            else:
+                names = ()
+            scheme = forall(names, bound_ty)
+            subst2, body_ty, body_f = self.infer(
+                gamma1.extend(term.var, scheme), term.body
+            )
+            fterm = flet(
+                term.var,
+                subst2(scheme),
+                ftyabs(names, map_types(bound_f, subst2.apply)),
+                body_f,
+            )
+            return subst2.compose(subst1), body_ty, fterm
+        raise MLTypeError(f"not an ML term: {term}")
+
+
+def ml_to_system_f(
+    term: Term, env: TypeEnv | None = None
+) -> tuple[FTerm, Type]:
+    """Translate an ML term to System F; returns the image and its type."""
+    env = env or TypeEnv.empty()
+    translator = _TranslatingW()
+    subst, ty, fterm = translator.infer(env, term)
+    return map_types(fterm, subst.apply), ty

@@ -1,0 +1,152 @@
+"""Classic Hindley-Milner inference (Algorithm W) for mini-ML.
+
+This is the Figure 21 system with the Damas-Milner algorithm the paper
+extends, implemented independently of the FreezeML inferencer so that it
+can serve both as the Appendix B substrate and as the plain-ML baseline
+(``repro.baselines.ml_w``): first-order unification only, generalisation
+at value lets, implicit instantiation at every variable.
+
+The algorithm rejects any type environment entry that is not an ML type
+scheme (quantifiers must be top-level, bodies monomorphic), and rejects
+terms outside the ML fragment.
+"""
+
+from __future__ import annotations
+
+from ..core.env import TypeEnv
+from ..core.subst import Subst
+from ..core.terms import (
+    App,
+    BoolLit,
+    IntLit,
+    Lam,
+    Let,
+    StrLit,
+    Term,
+    Var,
+)
+from ..core.types import (
+    BOOL,
+    INT,
+    STRING,
+    TCon,
+    TVar,
+    Type,
+    forall,
+    ftv,
+    is_monotype,
+    split_foralls,
+)
+from ..errors import MLTypeError, UnboundVariableError
+from ..names import NameSupply
+from .syntax import is_ml_scheme, is_ml_value
+
+
+def ml_unify(left: Type, right: Type, fixed: frozenset[str]) -> Subst:
+    """First-order unification; variables in ``fixed`` are rigid."""
+    if isinstance(left, TVar) and isinstance(right, TVar) and left.name == right.name:
+        return Subst.identity()
+    if isinstance(left, TVar) and left.name not in fixed:
+        return _ml_bind(left.name, right)
+    if isinstance(right, TVar) and right.name not in fixed:
+        return _ml_bind(right.name, left)
+    if isinstance(left, TCon) and isinstance(right, TCon):
+        if left.con != right.con or len(left.args) != len(right.args):
+            raise MLTypeError(f"cannot unify `{left}` with `{right}`")
+        subst = Subst.identity()
+        for l_arg, r_arg in zip(left.args, right.args):
+            step = ml_unify(subst(l_arg), subst(r_arg), fixed)
+            subst = step.compose(subst)
+        return subst
+    raise MLTypeError(f"cannot unify `{left}` with `{right}`")
+
+
+def _ml_bind(name: str, ty: Type) -> Subst:
+    if not is_monotype(ty):
+        raise MLTypeError(f"ML cannot bind `{name}` to polymorphic `{ty}`")
+    if name in ftv(ty):
+        raise MLTypeError(f"occurs check: `{name}` in `{ty}`")
+    return Subst.singleton(name, ty)
+
+
+class MLInferencer:
+    """Algorithm W (Damas-Milner 1982), value-restricted."""
+
+    def __init__(self, supply: NameSupply | None = None, fixed: frozenset[str] = frozenset()):
+        self.supply = supply or NameSupply()
+        self.fixed = fixed
+
+    def infer(self, gamma: TypeEnv, term: Term) -> tuple[Subst, Type]:
+        if isinstance(term, Var):
+            try:
+                scheme = gamma.lookup(term.name)
+            except UnboundVariableError as exc:
+                raise MLTypeError(str(exc)) from exc
+            if not is_ml_scheme(scheme):
+                raise MLTypeError(
+                    f"`{term.name} : {scheme}` is not an ML type scheme"
+                )
+            names, body = split_foralls(scheme)
+            inst = Subst(
+                {name: TVar(self.supply.fresh_flexible()) for name in names}
+            )
+            return Subst.identity(), inst(body)
+        if isinstance(term, IntLit):
+            return Subst.identity(), INT
+        if isinstance(term, BoolLit):
+            return Subst.identity(), BOOL
+        if isinstance(term, StrLit):
+            return Subst.identity(), STRING
+        if isinstance(term, Lam):
+            param = TVar(self.supply.fresh_flexible())
+            subst, body_ty = self.infer(gamma.extend(term.param, param), term.body)
+            return subst, TCon("->", (subst(param), body_ty))
+        if isinstance(term, App):
+            subst1, fn_ty = self.infer(gamma, term.fn)
+            subst2, arg_ty = self.infer(gamma.map_types(subst1), term.arg)
+            result = TVar(self.supply.fresh_flexible())
+            subst3 = ml_unify(subst2(fn_ty), TCon("->", (arg_ty, result)), self.fixed)
+            return subst3.compose(subst2).compose(subst1), subst3(result)
+        if isinstance(term, Let):
+            subst1, bound_ty = self.infer(gamma, term.bound)
+            gamma1 = gamma.map_types(subst1)
+            scheme = self.generalise(gamma1, bound_ty, term.bound)
+            subst2, body_ty = self.infer(gamma1.extend(term.var, scheme), term.body)
+            return subst2.compose(subst1), body_ty
+        raise MLTypeError(f"not an ML term: {term}")
+
+    def generalise(self, gamma: TypeEnv, ty: Type, bound: Term) -> Type:
+        """``gen(Delta, S, M)``: quantify unconstrained variables of values."""
+        if not is_ml_value(bound):
+            return ty
+        env_vars = gamma.free_type_vars() | self.fixed
+        names = tuple(v for v in ftv(ty) if v not in env_vars)
+        return forall(names, ty)
+
+
+def ml_infer_type(
+    term: Term,
+    env: TypeEnv | None = None,
+    *,
+    generalise_top: bool = False,
+) -> Type:
+    """Infer the principal ML (mono)type of ``term``.
+
+    With ``generalise_top`` the result is closed into a type scheme as a
+    top-level ``let`` would (useful when comparing against FreezeML's
+    ``infer_definition``).
+    """
+    env = env or TypeEnv.empty()
+    inferencer = MLInferencer()
+    subst, ty = inferencer.infer(env, term)
+    if generalise_top:
+        return inferencer.generalise(env.map_types(subst), ty, term)
+    return ty
+
+
+def ml_typecheck(term: Term, env: TypeEnv | None = None) -> bool:
+    try:
+        ml_infer_type(term, env)
+    except MLTypeError:
+        return False
+    return True

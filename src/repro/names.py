@@ -1,0 +1,76 @@
+"""Fresh name generation and display normalisation.
+
+FreezeML type inference (paper Section 5.1) distinguishes *rigid* type
+variables (object-language variables and skolems, living in a fixed kind
+environment ``Delta``) from *flexible* type variables (unification
+variables, living in a refined kind environment ``Theta``).
+
+To make freshness trivially correct we draw the two classes of generated
+names from disjoint alphabets that the surface lexer can never produce:
+
+* flexible (unification) variables look like ``%1``, ``%2``, ...
+* skolem constants (rigid variables invented by the unifier when going
+  under quantifiers, Figure 15) look like ``!1``, ``!2``, ...
+* internal term variables (used when expanding the ``$``/``@`` sugar)
+  look like ``%tmp1``, ...
+
+User-written identifiers are plain ``[a-z][A-Za-z0-9_']*`` so no capture
+between generated and user names is possible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import string
+
+FLEXIBLE_PREFIX = "%"
+SKOLEM_PREFIX = "!"
+
+
+class NameSupply:
+    """A monotonically increasing supply of fresh names.
+
+    One supply is used per inference run; since every generated name embeds
+    a counter value that is never reused, generated names are globally
+    unique within a run.
+    """
+
+    def __init__(self, prefix: str = "") -> None:
+        self._counter = itertools.count(1)
+        self._prefix = prefix
+
+    def fresh_flexible(self, hint: str = "") -> str:
+        """Return a fresh flexible (unification) variable name."""
+        return f"{FLEXIBLE_PREFIX}{self._prefix}{hint}{next(self._counter)}"
+
+    def fresh_skolem(self) -> str:
+        """Return a fresh rigid skolem name."""
+        return f"{SKOLEM_PREFIX}{self._prefix}{next(self._counter)}"
+
+    def fresh_term_var(self) -> str:
+        """Return a fresh term variable name (for desugaring $ and @)."""
+        return f"%tmp{self._prefix}{next(self._counter)}"
+
+
+def is_flexible_name(name: str) -> bool:
+    """True if ``name`` was generated as a flexible variable."""
+    return name.startswith(FLEXIBLE_PREFIX)
+
+
+def is_skolem_name(name: str) -> bool:
+    """True if ``name`` was generated as a skolem constant."""
+    return name.startswith(SKOLEM_PREFIX)
+
+
+def display_names(avoid: set[str]):
+    """Yield an infinite stream of pretty type-variable names.
+
+    Produces ``a, b, c, ..., z, a1, b1, ...`` skipping anything in
+    ``avoid``.  Used when normalising inferred types for display so that
+    the machine-generated ``%17`` style names never leak to users.
+    """
+    for round_ in itertools.count():
+        for letter in string.ascii_lowercase:
+            name = letter if round_ == 0 else f"{letter}{round_}"
+            if name not in avoid:
+                yield name

@@ -1,0 +1,6 @@
+"""Call-by-value semantics for FreezeML and System F (type erasure)."""
+
+from .eval import eval_freezeml, eval_system_f, run
+from .prelude import value_prelude
+
+__all__ = ["eval_freezeml", "eval_system_f", "run", "value_prelude"]

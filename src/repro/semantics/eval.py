@@ -1,0 +1,118 @@
+"""Call-by-value evaluators (type erasure) for FreezeML and System F.
+
+Freezing, generalisation and instantiation are static constructs: after
+type erasure ``~x`` is ``x``, ``$V`` is ``let x = V in x`` and ``M@`` is
+``let x = M in x``, so the equational theory of Section 4.3 collapses to
+the familiar CBV beta/eta laws -- which the test suite checks
+observationally by running both sides of each law.
+
+System F terms evaluate by erasing type abstraction and application;
+because the calculus is value-restricted, erasing ``/\\a. V`` to ``V``
+is semantics-preserving.
+"""
+
+from __future__ import annotations
+
+from ..core.terms import (
+    App,
+    BoolLit,
+    FrozenVar,
+    IntLit,
+    Lam,
+    LamAnn,
+    Let,
+    LetAnn,
+    StrLit,
+    Term,
+    Var,
+)
+from ..errors import EvaluationError
+from ..systemf.syntax import (
+    FApp,
+    FBoolLit,
+    FIntLit,
+    FLam,
+    FStrLit,
+    FTerm,
+    FTyAbs,
+    FTyApp,
+    FVar,
+)
+from .prelude import value_prelude
+from .values import Closure, Value
+
+
+def eval_freezeml(term: Term, env: dict[str, Value] | None = None) -> Value:
+    """Evaluate a FreezeML term under ``env`` (defaults to the prelude)."""
+    if env is None:
+        env = value_prelude()
+    return _eval(term, env)
+
+
+def _eval(term: Term, env: dict[str, Value]) -> Value:
+    if isinstance(term, (Var, FrozenVar)):
+        try:
+            return env[term.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable at runtime: {term.name}") from None
+    if isinstance(term, IntLit):
+        return term.value
+    if isinstance(term, BoolLit):
+        return term.value
+    if isinstance(term, StrLit):
+        return term.value
+    if isinstance(term, Lam):
+        return Closure(term.param, term.body, env, _eval)
+    if isinstance(term, LamAnn):
+        return Closure(term.param, term.body, env, _eval)
+    if isinstance(term, App):
+        fn = _eval(term.fn, env)
+        arg = _eval(term.arg, env)
+        if not callable(fn):
+            raise EvaluationError(f"application of non-function value: {fn!r}")
+        return fn(arg)
+    if isinstance(term, (Let, LetAnn)):
+        bound = _eval(term.bound, env)
+        return _eval(term.body, {**env, term.var: bound})
+    raise TypeError(f"not a term: {term!r}")
+
+
+def eval_system_f(term: FTerm, env: dict[str, Value] | None = None) -> Value:
+    """Evaluate a System F term by type erasure."""
+    if env is None:
+        env = value_prelude()
+    return _eval_f(term, env)
+
+
+def _eval_f(term: FTerm, env: dict[str, Value]) -> Value:
+    if isinstance(term, FVar):
+        try:
+            return env[term.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable at runtime: {term.name}") from None
+    if isinstance(term, FIntLit):
+        return term.value
+    if isinstance(term, FBoolLit):
+        return term.value
+    if isinstance(term, FStrLit):
+        return term.value
+    if isinstance(term, FLam):
+        return Closure(term.param, term.body, env, _eval_f)
+    if isinstance(term, FApp):
+        fn = _eval_f(term.fn, env)
+        arg = _eval_f(term.arg, env)
+        if not callable(fn):
+            raise EvaluationError(f"application of non-function value: {fn!r}")
+        return fn(arg)
+    if isinstance(term, FTyAbs):
+        return _eval_f(term.body, env)  # erasure (body is a value)
+    if isinstance(term, FTyApp):
+        return _eval_f(term.fn, env)  # erasure
+    raise TypeError(f"not a System F term: {term!r}")
+
+
+def run(source: str, env: dict[str, Value] | None = None) -> Value:
+    """Parse and evaluate a FreezeML program in one step."""
+    from ..syntax.parser import parse_term
+
+    return eval_freezeml(parse_term(source), env)

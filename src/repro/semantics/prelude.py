@@ -1,0 +1,64 @@
+"""Runtime counterparts of the Figure 2 prelude signatures.
+
+Each entry matches the type in :mod:`repro.corpus.signatures`; functions
+are curried (one argument per call) to match the term-level application
+of the calculus.
+"""
+
+from __future__ import annotations
+
+from ..errors import EvaluationError
+from .values import STComp, Value
+
+
+def _head(xs: list) -> Value:
+    if not xs:
+        raise EvaluationError("head of empty list")
+    return xs[0]
+
+
+def _tail(xs: list) -> list:
+    if not xs:
+        raise EvaluationError("tail of empty list")
+    return xs[1:]
+
+
+def _identity(x: Value) -> Value:
+    return x
+
+
+def value_prelude() -> dict[str, Value]:
+    """Fresh runtime environment implementing Figure 2."""
+    identity = _identity
+    env: dict[str, Value] = {
+        # lists
+        "head": _head,
+        "tail": _tail,
+        "[]": [],
+        "::": lambda x: lambda xs: [x, *xs],
+        "single": lambda x: [x],
+        "++": lambda xs: lambda ys: [*xs, *ys],
+        "length": len,
+        "map": lambda f: lambda xs: [f(x) for x in xs],
+        # polymorphism playground
+        "id": identity,
+        "ids": [identity],
+        "inc": lambda n: n + 1,
+        "choose": lambda x: lambda _y: x,
+        "poly": lambda f: (f(42), f(True)),
+        "auto": lambda x: x(x),
+        "auto'": lambda x: x(x),
+        "app": lambda f: lambda x: f(x),
+        "revapp": lambda x: lambda f: f(x),
+        "pair": lambda x: lambda y: (x, y),
+        "pair'": lambda x: lambda y: (x, y),
+        # the ST simulation: an ST computation is a thunk over a store
+        "runST": lambda st: st.force() if isinstance(st, STComp) else st(),
+        "argST": STComp(lambda store: store.setdefault("cell", 0) + 1),
+        # arithmetic / misc
+        "+": lambda a: lambda b: a + b,
+        "fst": lambda p: p[0],
+        "snd": lambda p: p[1],
+        "not": lambda b: not b,
+    }
+    return env

@@ -1,0 +1,76 @@
+"""Runtime values for the evaluators.
+
+Values are plain Python data:
+
+* ``int`` / ``bool`` / ``str`` -- literals;
+* ``tuple`` of length 2 -- products;
+* ``list`` -- the ``List`` constructor;
+* :class:`Closure` or any Python callable -- functions (curried, one
+  argument at a time);
+* :class:`STComp` -- a suspended ST computation (the ``runST``/``argST``
+  simulation; see DESIGN.md).
+
+Frozen and plain variables evaluate identically -- freezing is a purely
+static construct, which the type-erasure evaluator makes literal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+Value = Any
+
+
+class Closure:
+    """A function value closing over an environment."""
+
+    __slots__ = ("param", "body", "env", "eval_fn")
+
+    def __init__(self, param: str, body, env: dict, eval_fn: Callable):
+        self.param = param
+        self.body = body
+        self.env = env
+        self.eval_fn = eval_fn
+
+    def __call__(self, argument: Value) -> Value:
+        return self.eval_fn(self.body, {**self.env, self.param: argument})
+
+    def __repr__(self) -> str:
+        return f"<closure fun {self.param} -> ...>"
+
+
+class STComp:
+    """A suspended ST computation: ``runST`` forces it.
+
+    The paper uses Haskell's ST monad types (``runST : forall a.
+    (forall s. ST s a) -> a``) purely as a typing example; at runtime we
+    model an ST computation as a thunk over a private mutable store.
+    """
+
+    __slots__ = ("run",)
+
+    def __init__(self, run: Callable[[dict], Value]):
+        self.run = run
+
+    def force(self) -> Value:
+        return self.run({})
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<ST computation>"
+
+
+def show_value(value: Value) -> str:
+    """Render a runtime value for the examples' output."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, str)):
+        return repr(value) if isinstance(value, str) else str(value)
+    if isinstance(value, tuple):
+        return f"({show_value(value[0])}, {show_value(value[1])})"
+    if isinstance(value, list):
+        return "[" + ", ".join(show_value(v) for v in value) + "]"
+    if callable(value):
+        return "<function>"
+    if isinstance(value, STComp):
+        return "<ST computation>"
+    return repr(value)

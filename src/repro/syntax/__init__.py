@@ -1,0 +1,6 @@
+"""Surface syntax for FreezeML: lexer, parser and pretty-printer."""
+
+from .parser import parse_term, parse_type
+from .pretty import pretty_term, pretty_type
+
+__all__ = ["parse_term", "parse_type", "pretty_term", "pretty_type"]

@@ -1,0 +1,102 @@
+"""A hand-rolled lexer for the FreezeML surface syntax.
+
+Token kinds::
+
+    IDENT   lowercase identifiers (may contain ', _, digits): x, auto', f1
+    UPPER   capitalised identifiers (type constructors): Int, List, ST
+    INT     integer literals
+    STRING  double-quoted string literals
+    symbols: -> . , :: : ( ) [ ] ~ $ @ = * + ++ |
+    keywords: fun let in forall rec true false
+
+``~`` renders the paper's freeze brackets; ``$`` and ``@`` are the
+generalisation/instantiation operators of Section 2.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+KEYWORDS = {"fun", "let", "in", "forall", "true", "false", "rec"}
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<WS>\s+)
+    | (?P<COMMENT>\#[^\n]*)
+    | (?P<ARROW>->)
+    | (?P<DCOLON>::)
+    | (?P<DPLUS>\+\+)
+    | (?P<INT>\d+)
+    | (?P<IDENT>[a-z_][A-Za-z0-9_']*)
+    | (?P<UPPER>[A-Z][A-Za-z0-9_']*)
+    | (?P<STRING>"(?:[^"\\]|\\.)*")
+    | (?P<SYM>[().\[\],~$@:=*+×])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}@{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise ``source``; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[pos]!r}",
+                line,
+                pos - line_start + 1,
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = pos - line_start + 1
+        if kind in ("WS", "COMMENT"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + text.rfind("\n") + 1
+        elif kind == "IDENT" and text in KEYWORDS:
+            tokens.append(Token(text.upper(), text, line, column))
+        elif kind == "SYM":
+            tokens.append(Token(_SYM_NAMES.get(text, text), text, line, column))
+        else:
+            assert kind is not None
+            tokens.append(Token(kind, text, line, column))
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, len(source) - line_start + 1))
+    return tokens
+
+
+_SYM_NAMES = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    ".": "DOT",
+    ",": "COMMA",
+    "~": "TILDE",
+    "$": "DOLLAR",
+    "@": "AT",
+    ":": "COLON",
+    "=": "EQUALS",
+    "*": "STAR",
+    "×": "STAR",
+    "+": "PLUS",
+}

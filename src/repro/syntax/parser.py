@@ -1,0 +1,342 @@
+"""Recursive-descent parser for FreezeML terms and types.
+
+Term grammar (loosest to tightest)::
+
+    term     ::= 'fun' param+ '->' term
+               | 'let' ['rec'] bind '=' term 'in' term
+               | cons
+    bind     ::= IDENT | '(' IDENT ':' type ')'
+    cons     ::= append ('::' cons)?               -- desugars to `::`
+    append   ::= sum ('++' sum)*                   -- desugars to `++`
+    sum      ::= app ('+' app)*                    -- desugars to `+`
+    app      ::= postfix+
+    postfix  ::= atom '@'*                         -- explicit instantiation
+    atom     ::= IDENT | '~' IDENT | INT | 'true' | 'false' | STRING
+               | '$' IDENT | '$' '(' term [':' type] ')'
+               | '(' term [',' term] ')'           -- pairs desugar to `pair`
+               | '[' [term (',' term)*] ']'        -- lists desugar to `::`/`[]`
+
+Type grammar::
+
+    type     ::= 'forall' IDENT+ '.' type | arrow
+    arrow    ::= prod ('->' type)?
+    prod     ::= tyapp (('*'|'×') prod)?
+    tyapp    ::= UPPER tyatom*                     -- arity-checked
+               | tyatom
+    tyatom   ::= IDENT | UPPER | '(' type ')'
+
+Lists, pairs and arithmetic are not term formers of the core calculus:
+they parse to applications of the Figure 2 prelude constants ``::``,
+``[]``, ``pair`` and ``+`` (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..core.terms import (
+    App,
+    BoolLit,
+    FrozenVar,
+    IntLit,
+    Lam,
+    LamAnn,
+    Let,
+    LetAnn,
+    StrLit,
+    Term,
+    Var,
+    generalise,
+    generalise_ann,
+    instantiate,
+)
+from ..core.types import TCon, TForall, TVar, Type, constructor_arity, product
+from ..errors import ParseError
+from .lexer import Token, tokenize
+
+CONS = "::"
+APPEND = "++"
+PLUS = "+"
+NIL = "[]"
+PAIR = "pair"
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self.next()
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    def eat(self, kind: str) -> bool:
+        if self.at(kind):
+            self.next()
+            return True
+        return False
+
+    def fail(self, message: str):
+        token = self.peek()
+        raise ParseError(message, token.line, token.column)
+
+    # -- terms ---------------------------------------------------------------
+
+    def term(self) -> Term:
+        if self.at("FUN"):
+            return self.lambda_()
+        if self.at("LET"):
+            return self.let()
+        return self.cons()
+
+    def lambda_(self) -> Term:
+        self.expect("FUN")
+        params: list[tuple[str, Type | None]] = [self.param()]
+        while not self.at("ARROW"):
+            params.append(self.param())
+        self.expect("ARROW")
+        body = self.term()
+        for name, ann in reversed(params):
+            body = Lam(name, body) if ann is None else LamAnn(name, ann, body)
+        return body
+
+    def param(self) -> tuple[str, Type | None]:
+        if self.at("IDENT"):
+            return self.next().text, None
+        if self.eat("LPAREN"):
+            name = self.expect("IDENT").text
+            self.expect("COLON")
+            ann = self.type()
+            self.expect("RPAREN")
+            return name, ann
+        self.fail("expected a parameter")
+        raise AssertionError  # pragma: no cover
+
+    def let(self) -> Term:
+        self.expect("LET")
+        if self.eat("LPAREN"):
+            name = self.expect("IDENT").text
+            self.expect("COLON")
+            ann = self.type()
+            self.expect("RPAREN")
+            self.expect("EQUALS")
+            bound = self.term()
+            self.expect("IN")
+            body = self.term()
+            return LetAnn(name, ann, bound, body)
+        name = self.expect("IDENT").text
+        self.expect("EQUALS")
+        bound = self.term()
+        self.expect("IN")
+        body = self.term()
+        return Let(name, bound, body)
+
+    def cons(self) -> Term:
+        left = self.append()
+        if self.eat("DCOLON"):
+            right = self.cons()
+            return App(App(Var(CONS), left), right)
+        return left
+
+    def append(self) -> Term:
+        left = self.sum()
+        while self.eat("DPLUS"):
+            right = self.sum()
+            left = App(App(Var(APPEND), left), right)
+        return left
+
+    def sum(self) -> Term:
+        left = self.app()
+        while self.eat("PLUS"):
+            right = self.app()
+            left = App(App(Var(PLUS), left), right)
+        return left
+
+    _ATOM_START = {
+        "IDENT",
+        "INT",
+        "TRUE",
+        "FALSE",
+        "STRING",
+        "TILDE",
+        "DOLLAR",
+        "LPAREN",
+        "LBRACKET",
+    }
+
+    def app(self) -> Term:
+        fn = self.postfix()
+        while self.peek().kind in self._ATOM_START:
+            fn = App(fn, self.postfix())
+        return fn
+
+    def postfix(self) -> Term:
+        term = self.atom()
+        while self.eat("AT"):
+            term = instantiate(term)
+        return term
+
+    def atom(self) -> Term:
+        token = self.peek()
+        if token.kind == "IDENT":
+            return Var(self.next().text)
+        if token.kind == "INT":
+            return IntLit(int(self.next().text))
+        if token.kind == "TRUE":
+            self.next()
+            return BoolLit(True)
+        if token.kind == "FALSE":
+            self.next()
+            return BoolLit(False)
+        if token.kind == "STRING":
+            raw = self.next().text
+            return StrLit(raw[1:-1].replace('\\"', '"').replace("\\\\", "\\"))
+        if token.kind == "TILDE":
+            self.next()
+            return FrozenVar(self.expect("IDENT").text)
+        if token.kind == "DOLLAR":
+            self.next()
+            return self.dollar()
+        if token.kind == "LPAREN":
+            self.next()
+            inner = self.term()
+            if self.eat("COMMA"):
+                second = self.term()
+                self.expect("RPAREN")
+                return App(App(Var(PAIR), inner), second)
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "LBRACKET":
+            self.next()
+            elems: list[Term] = []
+            if not self.at("RBRACKET"):
+                elems.append(self.term())
+                while self.eat("COMMA"):
+                    elems.append(self.term())
+            self.expect("RBRACKET")
+            result: Term = Var(NIL)
+            for elem in reversed(elems):
+                result = App(App(Var(CONS), elem), result)
+            return result
+        self.fail(f"expected a term, found {token.kind} {token.text!r}")
+        raise AssertionError  # pragma: no cover
+
+    def dollar(self) -> Term:
+        """The body of a ``$`` generalisation: ``$x`` or ``$(M [: A])``."""
+        if self.at("IDENT"):
+            return generalise(Var(self.next().text))
+        if self.eat("LPAREN"):
+            inner = self.term()
+            if self.eat("COLON"):
+                ann = self.type()
+                self.expect("RPAREN")
+                return generalise_ann(ann, inner)
+            self.expect("RPAREN")
+            return generalise(inner)
+        self.fail("expected a variable or parenthesised term after $")
+        raise AssertionError  # pragma: no cover
+
+    # -- types ----------------------------------------------------------------
+
+    def type(self) -> Type:
+        if self.eat("FORALL"):
+            names = [self.expect("IDENT").text]
+            while self.at("IDENT"):
+                names.append(self.next().text)
+            self.expect("DOT")
+            body = self.type()
+            for name in reversed(names):
+                body = TForall(name, body)
+            return body
+        return self.arrow_type()
+
+    def arrow_type(self) -> Type:
+        left = self.product_type()
+        if self.eat("ARROW"):
+            right = self.type()
+            return TCon("->", (left, right))
+        return left
+
+    def product_type(self) -> Type:
+        left = self.type_application()
+        if self.eat("STAR"):
+            right = self.product_type()
+            return product(left, right)
+        return left
+
+    def type_application(self) -> Type:
+        if self.at("UPPER"):
+            token = self.next()
+            arity = constructor_arity(token.text)
+            if arity is None:
+                raise ParseError(
+                    f"unknown type constructor {token.text}",
+                    token.line,
+                    token.column,
+                )
+            args = tuple(self.type_atom() for _ in range(arity))
+            return TCon(token.text, args)
+        return self.type_atom()
+
+    def type_atom(self) -> Type:
+        token = self.peek()
+        if token.kind == "IDENT":
+            return TVar(self.next().text)
+        if token.kind == "UPPER":
+            # A constructor in atom position must be nullary (or be
+            # parenthesised with its arguments).
+            name = self.next().text
+            arity = constructor_arity(name)
+            if arity is None:
+                raise ParseError(
+                    f"unknown type constructor {name}", token.line, token.column
+                )
+            if arity != 0:
+                raise ParseError(
+                    f"type constructor {name} (arity {arity}) needs arguments; "
+                    f"parenthesise the application",
+                    token.line,
+                    token.column,
+                )
+            return TCon(name)
+        if token.kind == "LPAREN":
+            self.next()
+            inner = self.type()
+            self.expect("RPAREN")
+            return inner
+        self.fail(f"expected a type, found {token.kind} {token.text!r}")
+        raise AssertionError  # pragma: no cover
+
+
+def parse_term(source: str) -> Term:
+    """Parse a FreezeML term from surface syntax."""
+    parser = _Parser(tokenize(source))
+    term = parser.term()
+    parser.expect("EOF")
+    return term
+
+
+def parse_type(source: str) -> Type:
+    """Parse a FreezeML/System F type from surface syntax."""
+    parser = _Parser(tokenize(source))
+    ty = parser.type()
+    parser.expect("EOF")
+    return ty

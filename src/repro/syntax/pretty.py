@@ -1,0 +1,137 @@
+"""Pretty-printing of FreezeML terms and types.
+
+Inverse of :mod:`repro.syntax.parser` up to alpha-renaming of the
+temporary variables introduced by the ``$``/``@`` sugar: for every term
+``t`` produced by the parser, ``parse_term(pretty_term(t))`` is
+alpha-equal to ``t`` (a property test asserts this).
+
+Resugars the prelude operators ``::``, ``++``, ``+``, ``pair`` and list
+literals, as well as frozen variables, ``$`` and ``@``.
+"""
+
+from __future__ import annotations
+
+from ..core import terms as T
+from ..core.types import Type, format_type
+
+# Precedence levels mirror the parser's productions.
+_TOP = 0
+_CONS = 1
+_APPEND = 2
+_SUM = 3
+_APP = 4
+_ATOM = 5
+
+
+def pretty_type(ty: Type, unicode: bool = False) -> str:
+    """Render a type; with ``unicode=True`` prints ``∀``, ``→`` and ``×``."""
+    text = format_type(ty)
+    if unicode:
+        text = (
+            text.replace("forall ", "∀").replace("->", "→").replace("*", "×")
+        )
+    return text
+
+
+def pretty_term(term: T.Term) -> str:
+    """Render a term in parseable surface syntax."""
+    return _term(term, _TOP)
+
+
+def _op_view(term: T.Term) -> tuple[str, T.Term, T.Term] | None:
+    """Recognise ``App(App(Var op, l), r)`` for an infix operator."""
+    if (
+        isinstance(term, T.App)
+        and isinstance(term.fn, T.App)
+        and isinstance(term.fn.fn, T.Var)
+        and term.fn.fn.name in ("::", "++", "+", "pair")
+    ):
+        return term.fn.fn.name, term.fn.arg, term.arg
+    return None
+
+
+def _list_view(term: T.Term) -> list[T.Term] | None:
+    """Recognise a cons chain terminated by ``[]`` as a list literal."""
+    elems: list[T.Term] = []
+    while True:
+        if isinstance(term, T.Var) and term.name == "[]":
+            return elems
+        view = _op_view(term)
+        if view is None or view[0] != "::":
+            return None
+        elems.append(view[1])
+        term = view[2]
+
+
+def _term(term: T.Term, prec: int) -> str:
+    # Sugar first.
+    value = T.match_generalise(term)
+    if value is not None:
+        if isinstance(value, T.Var):
+            return f"${value.name}"
+        return f"$({_term(value, _TOP)})"
+    ann_value = T.match_generalise_ann(term)
+    if ann_value is not None:
+        ann, value = ann_value
+        return f"$({_term(value, _TOP)} : {format_type(ann)})"
+    inner = T.match_instantiate(term)
+    if inner is not None:
+        return f"{_term(inner, _ATOM)}@"
+
+    listed = _list_view(term)
+    if listed is not None and (listed or isinstance(term, T.Var)):
+        if isinstance(term, T.Var):  # bare []
+            return "[]"
+        inside = ", ".join(_term(e, _TOP) for e in listed)
+        return f"[{inside}]"
+
+    view = _op_view(term)
+    if view is not None:
+        op, left, right = view
+        if op == "pair":
+            return f"({_term(left, _TOP)}, {_term(right, _TOP)})"
+        if op == "::":
+            text = f"{_term(left, _APPEND)} :: {_term(right, _CONS)}"
+            return f"({text})" if prec > _CONS else text
+        if op == "++":
+            text = f"{_term(left, _APPEND)} ++ {_term(right, _SUM)}"
+            return f"({text})" if prec > _APPEND else text
+        if op == "+":
+            text = f"{_term(left, _SUM)} + {_term(right, _APP)}"
+            return f"({text})" if prec > _SUM else text
+
+    if isinstance(term, T.Var):
+        return term.name
+    if isinstance(term, T.FrozenVar):
+        return f"~{term.name}"
+    if isinstance(term, T.IntLit):
+        return str(term.value)
+    if isinstance(term, T.BoolLit):
+        return "true" if term.value else "false"
+    if isinstance(term, T.StrLit):
+        escaped = term.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(term, T.Lam):
+        text = f"fun {term.param} -> {_term(term.body, _TOP)}"
+        return f"({text})" if prec > _TOP else text
+    if isinstance(term, T.LamAnn):
+        text = (
+            f"fun ({term.param} : {format_type(term.ann)}) -> "
+            f"{_term(term.body, _TOP)}"
+        )
+        return f"({text})" if prec > _TOP else text
+    if isinstance(term, T.App):
+        text = f"{_term(term.fn, _APP)} {_term(term.arg, _ATOM)}"
+        return f"({text})" if prec > _APP else text
+    if isinstance(term, T.Let):
+        text = (
+            f"let {term.var} = {_term(term.bound, _TOP)} in {_term(term.body, _TOP)}"
+        )
+        return f"({text})" if prec > _TOP else text
+    if isinstance(term, T.LetAnn):
+        text = (
+            f"let ({term.var} : {format_type(term.ann)}) = "
+            f"{_term(term.bound, _TOP)} in {_term(term.body, _TOP)}"
+        )
+        return f"({text})" if prec > _TOP else text
+    raise TypeError(f"not a term: {term!r}")

@@ -1,0 +1,33 @@
+"""Call-by-value System F (paper Appendix B.1): syntax, typing, evaluation."""
+
+from .syntax import (
+    FApp,
+    FBoolLit,
+    FIntLit,
+    FLam,
+    FStrLit,
+    FTerm,
+    FTyAbs,
+    FTyApp,
+    FVar,
+    flet,
+    ftyabs,
+    ftyapps,
+)
+from .typecheck import typecheck_f
+
+__all__ = [
+    "FApp",
+    "FBoolLit",
+    "FIntLit",
+    "FLam",
+    "FStrLit",
+    "FTerm",
+    "FTyAbs",
+    "FTyApp",
+    "FVar",
+    "flet",
+    "ftyabs",
+    "ftyapps",
+    "typecheck_f",
+]

@@ -1,0 +1,114 @@
+"""System F type checking (paper Figure 18), plus literals.
+
+``typecheck_f(delta, gamma, M)`` returns the unique type of ``M`` or
+raises :class:`SystemFTypeError`.  Types are compared up to alpha
+equivalence; the value restriction on type abstraction is enforced.
+"""
+
+from __future__ import annotations
+
+from ..core.env import TypeEnv
+from ..core.kinds import Kind, KindEnv
+from ..core.subst import Subst
+from ..core.types import (
+    ARROW,
+    BOOL,
+    INT,
+    STRING,
+    TCon,
+    TForall,
+    Type,
+    alpha_equal,
+)
+from ..core.wellformed import check_kind
+from ..errors import KindError, SystemFTypeError, UnboundVariableError
+from .syntax import (
+    FApp,
+    FBoolLit,
+    FIntLit,
+    FLam,
+    FStrLit,
+    FTerm,
+    FTyAbs,
+    FTyApp,
+    FVar,
+    is_f_value,
+)
+
+
+def typecheck_f(
+    term: FTerm,
+    gamma: TypeEnv | None = None,
+    delta: KindEnv | None = None,
+) -> Type:
+    """The judgement ``Delta; Gamma |- M : A`` of Figure 18."""
+    gamma = gamma or TypeEnv.empty()
+    delta = delta or KindEnv.empty()
+    return _check(delta, gamma, term)
+
+
+def _check(delta: KindEnv, gamma: TypeEnv, term: FTerm) -> Type:
+    if isinstance(term, FVar):
+        try:
+            return gamma.lookup(term.name)
+        except UnboundVariableError as exc:
+            raise SystemFTypeError(str(exc)) from exc
+    if isinstance(term, FIntLit):
+        return INT
+    if isinstance(term, FBoolLit):
+        return BOOL
+    if isinstance(term, FStrLit):
+        return STRING
+    if isinstance(term, FLam):
+        _check_type(delta, term.param_ty, term)
+        body_ty = _check(delta, gamma.extend(term.param, term.param_ty), term.body)
+        return TCon(ARROW, (term.param_ty, body_ty))
+    if isinstance(term, FApp):
+        fn_ty = _check(delta, gamma, term.fn)
+        arg_ty = _check(delta, gamma, term.arg)
+        if not (isinstance(fn_ty, TCon) and fn_ty.con == ARROW):
+            raise SystemFTypeError(
+                f"application of non-function: `{term.fn}` : {fn_ty}"
+            )
+        expected, result = fn_ty.args
+        if not alpha_equal(expected, arg_ty):
+            raise SystemFTypeError(
+                f"argument type mismatch in `{term}`: expected {expected}, "
+                f"got {arg_ty}"
+            )
+        return result
+    if isinstance(term, FTyAbs):
+        if not is_f_value(term.body):
+            raise SystemFTypeError(
+                f"value restriction: type abstraction over non-value `{term.body}`"
+            )
+        if term.var in delta:
+            raise SystemFTypeError(
+                f"type variable {term.var} already bound in `{term}`"
+            )
+        body_ty = _check(delta.extend(term.var, Kind.MONO), gamma, term.body)
+        return TForall(term.var, body_ty)
+    if isinstance(term, FTyApp):
+        fn_ty = _check(delta, gamma, term.fn)
+        if not isinstance(fn_ty, TForall):
+            raise SystemFTypeError(
+                f"type application of non-polymorphic term `{term.fn}` : {fn_ty}"
+            )
+        _check_type(delta, term.ty_arg, term)
+        return Subst.singleton(fn_ty.var, term.ty_arg)(fn_ty.body)
+    raise TypeError(f"not a System F term: {term!r}")
+
+
+def _check_type(delta: KindEnv, ty: Type, term: FTerm) -> None:
+    try:
+        check_kind(delta, ty, Kind.POLY)
+    except KindError as exc:
+        raise SystemFTypeError(f"ill-kinded type in `{term}`: {exc}") from exc
+
+
+def typechecks_f(term: FTerm, gamma: TypeEnv | None = None, delta: KindEnv | None = None) -> bool:
+    try:
+        typecheck_f(term, gamma, delta)
+    except SystemFTypeError:
+        return False
+    return True

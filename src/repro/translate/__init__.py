@@ -1,0 +1,6 @@
+"""Type-preserving translations between FreezeML and System F (Section 4)."""
+
+from .freezeml_to_f import SystemFElaborator, elaborate
+from .f_to_freezeml import f_to_freezeml
+
+__all__ = ["SystemFElaborator", "elaborate", "f_to_freezeml"]

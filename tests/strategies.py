@@ -1,0 +1,127 @@
+"""Hypothesis generators for types and terms.
+
+Two families:
+
+* random *types* (monotypes, guarded types, arbitrary System F types)
+  over a small rigid-variable alphabet -- used by the unification and
+  substitution property tests;
+* random *well-typed ML terms*, built generatively so that every output
+  typechecks by construction -- used by the conservativity (Theorem 1)
+  and soundness property tests.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.terms import App, BoolLit, IntLit, Lam, Let, Var
+from repro.core.types import (
+    BOOL,
+    INT,
+    TCon,
+    TForall,
+    TVar,
+    arrow,
+    list_of,
+    product,
+)
+
+RIGID_NAMES = ("a", "b", "c")
+FLEX_NAMES = ("%x", "%y", "%z")
+
+base_types = st.sampled_from([INT, BOOL])
+
+
+def monotypes(var_names=RIGID_NAMES, max_leaves=6):
+    """Quantifier-free types over the given variables."""
+    if var_names:
+        leaves = st.one_of(
+            base_types, st.sampled_from([TVar(n) for n in var_names])
+        )
+    else:
+        leaves = base_types
+    return st.recursive(
+        leaves,
+        lambda inner: st.one_of(
+            st.builds(arrow, inner, inner),
+            st.builds(list_of, inner),
+            st.builds(product, inner, inner),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def polytypes(var_names=RIGID_NAMES, max_leaves=6):
+    """Arbitrary System F types (quantifiers anywhere)."""
+    binders = st.sampled_from(["p", "q", "r"])
+    leaves = st.one_of(
+        base_types,
+        st.sampled_from([TVar(n) for n in var_names + ("p", "q", "r")]),
+    )
+
+    def extend(inner):
+        return st.one_of(
+            st.builds(arrow, inner, inner),
+            st.builds(list_of, inner),
+            st.builds(lambda b, t: TForall(b, t), binders, inner),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+# ---------------------------------------------------------------------------
+# Well-typed ML term generation.  A term is generated together with its
+# (structural) type; the generator only composes pieces that fit, so the
+# output typechecks in ML -- and, by Theorem 1, in FreezeML.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def ml_terms(draw, depth: int = 3, env: tuple[tuple[str, object], ...] = ()):
+    """Generate (term, type) pairs, well-typed in the empty prelude."""
+    # Simple generative grammar keyed by a target type.
+    target = draw(st.sampled_from(["Int", "Bool", "Int->Int"]))
+    term = draw(_term_of(target, depth, dict(env)))
+    return term, target
+
+
+def _term_of(target: str, depth: int, env: dict):
+    ground = {
+        "Int": st.builds(IntLit, st.integers(min_value=0, max_value=99)),
+        "Bool": st.builds(BoolLit, st.booleans()),
+        "Int->Int": st.builds(lambda n: Lam("v", IntLit(n)), st.integers(0, 9)),
+    }
+    options = [ground[target]]
+    for name, ty in env.items():
+        if ty == target:
+            options.append(st.just(Var(name)))
+    if depth > 0:
+        # let x = <t'> in <target>
+        def make_let(inner_ty):
+            return st.builds(
+                lambda bound, body: Let("x%d" % depth, bound, body),
+                _term_of(inner_ty, depth - 1, env),
+                _term_of(target, depth - 1, {**env, "x%d" % depth: inner_ty}),
+            )
+
+        options.append(st.sampled_from(["Int", "Bool", "Int->Int"]).flatmap(make_let))
+        # identity let + use: let f = \x.x in ... (polymorphic reuse)
+        if target in ("Int", "Bool"):
+            options.append(
+                st.builds(
+                    lambda body: Let("f%d" % depth, Lam("z", Var("z")), body),
+                    _term_of(target, depth - 1, env).map(
+                        lambda t: App(Var("f%d" % depth), t)
+                    ),
+                )
+            )
+        # application producing target
+        if target == "Int":
+            options.append(
+                st.builds(
+                    App,
+                    _term_of("Int->Int", depth - 1, env),
+                    _term_of("Int", depth - 1, env),
+                )
+            )
+    return st.one_of(options)

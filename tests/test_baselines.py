@@ -1,0 +1,98 @@
+"""Baseline systems: plain ML and HMF behave as the literature describes."""
+
+import pytest
+
+from repro.baselines.hmf import hmf_infer_type, hmf_typecheck
+from repro.baselines.ml_w import (
+    ml_baseline_infer,
+    ml_baseline_typecheck,
+    ml_expressible,
+)
+from repro.corpus.compare import equivalent_types
+from tests.helpers import PRELUDE, e, t
+
+
+class TestPlainMLBaseline:
+    def test_ml_fragment_typechecks(self):
+        assert ml_baseline_typecheck(e("fun x -> x"), PRELUDE)
+        assert ml_baseline_typecheck(e("inc 1"), PRELUDE)
+        assert ml_baseline_typecheck(e("single inc"), PRELUDE)
+
+    def test_freeze_not_expressible(self):
+        assert not ml_expressible(e("~id"), PRELUDE)
+        assert not ml_baseline_typecheck(e("poly ~id"), PRELUDE)
+
+    def test_impredicative_env_not_expressible(self):
+        # `ids` has a non-ML type; plain ML cannot state the problem
+        assert not ml_expressible(e("head ids"), PRELUDE)
+        assert not ml_expressible(e("poly (fun x -> x)"), PRELUDE)
+
+    def test_types_match_freezeml_on_ml_fragment(self):
+        from repro.core.infer import infer_type
+
+        for src in ["fun x -> x", "single inc", "choose 1 2",
+                    "let f = fun x -> x in f (f 1)"]:
+            ml_ty = ml_baseline_infer(e(src), PRELUDE)
+            fz_ty = infer_type(e(src), PRELUDE, normalise=False)
+            assert equivalent_types(ml_ty, fz_ty), src
+
+
+class TestHMFBehaviour:
+    """Characteristic HMF behaviours from Leijen 2008 / Section 7."""
+
+    def test_implicit_instantiation_and_generalisation(self):
+        # HMF types `poly id` with no marker at all (A10 without ~)
+        assert equivalent_types(
+            hmf_infer_type(e("poly id"), PRELUDE), t("Int * Bool")
+        )
+
+    def test_minimal_polymorphism_default(self):
+        # single id gets the *monomorphic-body* type List (a -> a),
+        # generalised -- not the impredicative List (forall a. a -> a)
+        ty = hmf_infer_type(e("single id"), PRELUDE)
+        assert equivalent_types(ty, t("forall a. List (a -> a)"))
+
+    def test_impredicative_via_unification(self):
+        assert equivalent_types(
+            hmf_infer_type(e("choose [] ids"), PRELUDE),
+            t("List (forall a. a -> a)"),
+        )
+
+    def test_no_polymorphism_guessing(self):
+        # fun f -> poly f requires an annotation in HMF
+        assert not hmf_typecheck(e("fun f -> poly f"), PRELUDE)
+        assert hmf_typecheck(
+            e("fun (f : forall a. a -> a) -> poly f"), PRELUDE
+        )
+
+    def test_annotated_parameters(self):
+        ty = hmf_infer_type(
+            e("fun (f : forall a. a -> a) -> (f 1, f true)"), PRELUDE
+        )
+        assert equivalent_types(ty, t("(forall a. a -> a) -> Int * Bool"))
+
+    def test_runst(self):
+        assert equivalent_types(hmf_infer_type(e("runST argST"), PRELUDE), t("Int"))
+
+    def test_rigid_quantified_argument_accepted(self):
+        assert hmf_typecheck(e("auto id"), PRELUDE)
+
+    def test_needs_annotation_for_poly_list_cons(self):
+        # id :: ids fails in HMF without an annotation
+        assert not hmf_typecheck(e("id :: ids"), PRELUDE)
+
+    def test_lambda_with_mono_body(self):
+        ty = hmf_infer_type(e("fun x -> x"), PRELUDE)
+        assert equivalent_types(ty, t("forall a. a -> a"))
+
+    def test_hmf_vs_freezeml_marker_freedom(self):
+        """The design trade-off in one test: HMF needs no markers where
+        FreezeML demands them; FreezeML types programs HMF cannot."""
+        from repro.core.infer import typecheck
+
+        # HMF: no marker needed
+        assert hmf_typecheck(e("poly id"), PRELUDE)
+        assert not typecheck(e("poly id"), PRELUDE)
+        # FreezeML: markers type what HMF cannot
+        assert typecheck(e("~id :: ids"), PRELUDE)
+        assert not hmf_typecheck(e("id :: ids"), PRELUDE)

@@ -1,0 +1,107 @@
+"""Tests for the declarative relation realised via principality
+(Appendix C / Theorems 6-7)."""
+
+from repro.core.check import (
+    is_instance_of,
+    match_types,
+    principal_type_of,
+    typeable,
+)
+from repro.core.kinds import Kind
+from repro.core.types import alpha_equal
+from tests.helpers import PRELUDE, e, t
+
+
+class TestMatchTypes:
+    def test_simple_binding(self):
+        subst = match_types(t("a -> a"), t("Int -> Int"), {"a": Kind.POLY})
+        assert subst is not None and subst(t("a")) == t("Int")
+
+    def test_inconsistent_binding(self):
+        assert match_types(t("a -> a"), t("Int -> Bool"), {"a": Kind.POLY}) is None
+
+    def test_mono_variable_rejects_polytype(self):
+        bindable = {"a": Kind.MONO}
+        assert match_types(t("a"), t("forall b. b -> b"), bindable) is None
+        assert match_types(t("a"), t("Int -> Int"), bindable) is not None
+
+    def test_poly_variable_accepts_polytype(self):
+        bindable = {"a": Kind.POLY}
+        assert match_types(t("a"), t("forall b. b -> b"), bindable) is not None
+
+    def test_rigid_pattern_vars_match_exactly(self):
+        assert match_types(t("a -> b"), t("a -> b"), {}) is not None
+        assert match_types(t("a -> b"), t("b -> a"), {}) is None
+
+    def test_no_capture_of_bound_target_vars(self):
+        # cannot bind a |-> b where b is bound in the target
+        assert match_types(
+            t("forall c. c -> a"), t("forall b. b -> b"), {"a": Kind.POLY}
+        ) is None
+
+    def test_under_quantifiers(self):
+        subst = match_types(
+            t("forall c. c -> a"), t("forall b. b -> Int"), {"a": Kind.POLY}
+        )
+        assert subst is not None and subst(t("a")) == t("Int")
+
+
+class TestIsInstanceOf:
+    def test_instances(self):
+        flexible = {"a": Kind.POLY}
+        assert is_instance_of(t("a -> a"), t("Int -> Int"), flexible)
+        assert is_instance_of(
+            t("a -> a"),
+            t("(forall b. b) -> forall b. b"),
+            flexible,
+        )
+        assert not is_instance_of(t("Int"), t("Bool"), flexible)
+
+
+class TestTypeable:
+    def test_principal_type_accepted(self):
+        assert typeable(e("fun x -> x"), t("a -> a"), PRELUDE)
+
+    def test_instances_accepted(self):
+        assert typeable(e("fun x -> x"), t("Int -> Int"), PRELUDE)
+        assert typeable(e("fun x -> x"), t("List Bool -> List Bool"), PRELUDE)
+
+    def test_monomorphism_respected(self):
+        # the lambda parameter is mono: (forall a. a) -> forall a. a is
+        # NOT a valid instance of fun x -> x's principal type
+        assert not typeable(
+            e("fun x -> x"), t("(forall a. a) -> forall a. a"), PRELUDE
+        )
+
+    def test_poly_result_instances(self):
+        # choose ~id : (forall a. a->a) -> forall a. a->a, exactly
+        assert typeable(
+            e("choose ~id"),
+            t("(forall a. a -> a) -> forall a. a -> a"),
+            PRELUDE,
+        )
+        assert not typeable(
+            e("choose ~id"), t("(Int -> Int) -> Int -> Int"), PRELUDE
+        )
+
+    def test_ill_typed_terms(self):
+        assert not typeable(e("auto id"), t("forall a. a -> a"), PRELUDE)
+
+    def test_non_instances_rejected(self):
+        assert not typeable(e("inc 1"), t("Bool"), PRELUDE)
+
+
+class TestPrincipalTypeOf:
+    def test_reports_kinds(self):
+        ty, kinds = principal_type_of(e("fun x -> x"), PRELUDE)
+        assert len(kinds) == 1
+        assert all(k is Kind.MONO for k in kinds.values())
+
+    def test_poly_kinds_from_instantiation(self):
+        ty, kinds = principal_type_of(e("id"), PRELUDE)
+        assert all(k is Kind.POLY for k in kinds.values())
+
+    def test_closed_principal_type(self):
+        ty, kinds = principal_type_of(e("poly ~id"), PRELUDE)
+        assert alpha_equal(ty, t("Int * Bool"))
+        assert kinds == {}

@@ -1,0 +1,85 @@
+"""REPL smoke tests (command dispatch, not terminal interaction)."""
+
+import io
+
+import pytest
+
+from repro.cli import Repl
+
+
+def run_lines(*lines: str) -> str:
+    out = io.StringIO()
+    repl = Repl(out=out)
+    for line in lines:
+        alive = repl.handle(line)
+        if not alive:
+            break
+    return out.getvalue()
+
+
+class TestInference:
+    def test_type_query(self):
+        assert ": Int * Bool" in run_lines("poly ~id")
+
+    def test_error_reported_not_raised(self):
+        output = run_lines("auto id")
+        assert "error:" in output
+
+    def test_parse_error_reported(self):
+        assert "error:" in run_lines("let = in")
+
+
+class TestCommands:
+    def test_run(self):
+        assert "= (42, true)" in run_lines(":run poly ~id")
+
+    def test_elaborate(self):
+        output = run_lines(":f poly ~id")
+        assert "C[[-]] = poly id" in output
+
+    def test_derive(self):
+        output = run_lines(":derive single ~id")
+        assert "[App]" in output and "[Freeze]" in output
+
+    def test_hmf(self):
+        assert "(HMF) : Int * Bool" in run_lines(":hmf poly id")
+
+    def test_let_binding_persists(self):
+        output = run_lines(
+            ":let myid = $(fun x -> x)",
+            "poly ~myid",
+            ":env",
+        )
+        assert "myid : forall a. a -> a" in output
+        assert ": Int * Bool" in output
+
+    def test_let_value_usable_at_runtime(self):
+        output = run_lines(":let three = 1 + 2", ":run three + 39")
+        assert "= 42" in output
+
+    def test_strategy_switch(self):
+        output = run_lines(
+            "(head ids) 42",
+            ":strategy e",
+            "(head ids) 42",
+        )
+        assert "error:" in output  # first attempt fails
+        assert ": Int" in output  # second succeeds
+
+    def test_unknown_command(self):
+        assert "unknown command" in run_lines(":wibble")
+
+    def test_help_and_quit(self):
+        out = io.StringIO()
+        repl = Repl(out=out)
+        assert repl.handle(":help")
+        assert not repl.handle(":quit")
+        assert "infer and print" in out.getvalue()
+
+    def test_blank_and_comment_lines(self):
+        assert run_lines("", "# comment") == ""
+
+    def test_main_one_shot(self):
+        from repro.cli import main
+
+        assert main(["-c", "poly ~id"]) == 0

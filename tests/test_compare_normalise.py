@@ -1,0 +1,62 @@
+"""Type comparison and display normalisation helpers."""
+
+from repro.core.infer import normalise_type
+from repro.core.types import TForall, TVar, arrow
+from repro.corpus.compare import canonicalise_free, equivalent_types
+from tests.helpers import t
+
+
+class TestEquivalentTypes:
+    def test_free_variable_renaming(self):
+        assert equivalent_types(t("a -> b -> b"), t("x -> y -> y"))
+        assert not equivalent_types(t("a -> b -> b"), t("x -> y -> x"))
+
+    def test_mixed_bound_and_free(self):
+        assert equivalent_types(
+            t("(forall a. a -> a) -> b -> b"),
+            t("(forall q. q -> q) -> z -> z"),
+        )
+
+    def test_occurrence_order_matters(self):
+        # a -> b  vs  b -> a  are the same up to renaming...
+        assert equivalent_types(t("a -> b"), t("b -> a"))
+        # ...but repeated occurrences must line up
+        assert not equivalent_types(t("a -> a -> b"), t("a -> b -> b"))
+
+    def test_quantifier_order_not_erased(self):
+        assert not equivalent_types(
+            t("forall a b. a -> b -> a * b"),
+            t("forall b a. a -> b -> a * b"),
+        )
+
+    def test_canonicalise_idempotent(self):
+        ty = t("(a -> b) -> (a -> c)")
+        once = canonicalise_free(ty)
+        assert canonicalise_free(once) == once
+
+
+class TestNormaliseType:
+    def test_machine_names_become_letters(self):
+        ty = arrow(TVar("%17"), TVar("%4"))
+        assert str(normalise_type(ty)) == "a -> b"
+
+    def test_user_names_kept(self):
+        ty = arrow(TVar("a"), TVar("%9"))
+        assert str(normalise_type(ty)) == "a -> b"
+
+    def test_bound_machine_names_renamed(self):
+        ty = TForall("%3", arrow(TVar("%3"), TVar("%3")))
+        assert str(normalise_type(ty)) == "forall a. a -> a"
+
+    def test_user_binders_kept_and_avoided(self):
+        # binder `a` stays; the free machine var must not collide with it
+        ty = TForall("a", arrow(TVar("a"), TVar("%1")))
+        assert str(normalise_type(ty)) == "forall a. a -> b"
+
+    def test_skolem_names_renamed(self):
+        ty = arrow(TVar("!5"), TVar("!5"))
+        assert str(normalise_type(ty)) == "a -> a"
+
+    def test_stable_occurrence_order(self):
+        ty = arrow(TVar("%9"), arrow(TVar("%2"), TVar("%9")))
+        assert str(normalise_type(ty)) == "a -> b -> a"

@@ -1,0 +1,76 @@
+"""Integration: every Figure 1 example infers the paper's reported type
+(or is rejected where the paper shows ✕).  This is experiment E1."""
+
+import pytest
+
+from repro.core.infer import infer_definition, infer_type
+from repro.corpus.compare import equivalent_types
+from repro.corpus.examples import BAD_EXAMPLES, EXAMPLES, TEXT_EXAMPLES
+from repro.errors import FreezeMLError
+
+
+def outcome(example):
+    options = {"value_restriction": False} if example.flag == "no-vr" else {}
+    try:
+        if example.mode == "definition":
+            ty = infer_definition("it", example.term(), example.env(), **options)
+        else:
+            ty = infer_type(example.term(), example.env(), **options)
+        return ("ok", ty)
+    except FreezeMLError as exc:
+        return ("fail", exc)
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=[x.id for x in EXAMPLES])
+def test_figure1(example):
+    status, result = outcome(example)
+    expected = example.expected_type()
+    if expected is None:
+        assert status == "fail", f"{example.id} should be ill-typed, got {result}"
+    else:
+        assert status == "ok", f"{example.id} failed: {result}"
+        assert equivalent_types(result, expected), (
+            f"{example.id}: expected {example.expected}, got {result}"
+        )
+
+
+@pytest.mark.parametrize(
+    "example", TEXT_EXAMPLES, ids=[x.id for x in TEXT_EXAMPLES]
+)
+def test_section2_prose(example):
+    status, result = outcome(example)
+    expected = example.expected_type()
+    if expected is None:
+        assert status == "fail", f"{example.id} should be ill-typed, got {result}"
+    else:
+        assert status == "ok", f"{example.id} failed: {result}"
+        assert equivalent_types(result, expected)
+
+
+@pytest.mark.parametrize(
+    "example", BAD_EXAMPLES, ids=[x.id for x in BAD_EXAMPLES]
+)
+def test_negative_suite(example):
+    status, _result = outcome(example)
+    assert status == "fail", f"{example.id} must be rejected"
+
+
+def test_f10_requires_dropping_value_restriction():
+    from repro.corpus.examples import example_by_id
+    from repro.core.infer import typecheck
+
+    f10 = example_by_id("F10")
+    assert not typecheck(f10.term(), f10.env())
+    assert typecheck(f10.term(), f10.env(), value_restriction=False)
+
+
+def test_counts_match_paper():
+    """Figure 1 has 49 rows counting the • variants (16 A, 2 B, 11 C, 5 D,
+    4 E, 11 F); we cover them all plus the Section 2 prose examples and
+    the negative suite."""
+    assert len(EXAMPLES) == 49
+    sections = {"A": 16, "B": 2, "C": 11, "D": 5, "E": 4, "F": 11}
+    for section, count in sections.items():
+        assert sum(1 for x in EXAMPLES if x.section == section) == count
+    well_typed = [x for x in EXAMPLES if x.well_typed]
+    assert len(well_typed) == len(EXAMPLES) - 3  # A8, E1, E3 are the only ✕

@@ -1,0 +1,135 @@
+"""The executable Figure 7: derivation construction and validation."""
+
+import pytest
+
+from repro.core.derivation import (
+    Derivation,
+    InvalidDerivation,
+    derive,
+    validate,
+    zonk_derivation,
+)
+from repro.core.subst import Subst
+from repro.core.types import TVar, alpha_equal
+from repro.corpus.examples import EXAMPLES, TEXT_EXAMPLES
+from tests.helpers import PRELUDE, e, t
+
+WELL_TYPED = [
+    x for x in EXAMPLES + TEXT_EXAMPLES if x.well_typed and x.flag != "no-vr"
+]
+
+
+class TestConstruction:
+    def test_simple_shape(self):
+        deriv, _theta = derive(e("poly ~id"), PRELUDE)
+        assert deriv.rule == "App"
+        fn, arg = deriv.children
+        assert fn.rule == "Var" and arg.rule == "Freeze"
+        assert alpha_equal(deriv.ty, t("Int * Bool"))
+
+    def test_var_records_instantiation(self):
+        deriv, _theta = derive(e("id 3"), PRELUDE)
+        var_node = deriv.children[0]
+        assert var_node.rule == "Var"
+        assert var_node.data["type_args"] == (t("Int"),)
+
+    def test_let_records_binders(self):
+        deriv, _theta = derive(e("$(fun x -> x)"), PRELUDE)
+        assert deriv.rule == "Let"
+        assert len(deriv.data["binders"]) == 1
+        assert alpha_equal(deriv.data["var_ty"], t("forall a. a -> a"))
+
+    def test_term_reconstruction(self):
+        from repro.core.terms import alpha_equal_terms
+
+        source = e("let f = fun x -> x in (f 1, f true)")
+        deriv, _theta = derive(source, PRELUDE)
+        assert alpha_equal_terms(deriv.term, source)
+
+    def test_pretty_and_size(self):
+        deriv, _theta = derive(e("single ~id"), PRELUDE)
+        assert deriv.size() >= 3
+        text = deriv.pretty()
+        assert "[App]" in text and "[Freeze]" in text
+
+    def test_zonk(self):
+        node = Derivation("Freeze", e("~x"), TVar("%9"))
+        zonked = zonk_derivation(node, Subst.singleton("%9", t("Int")))
+        assert zonked.ty == t("Int")
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "example", WELL_TYPED, ids=[x.id for x in WELL_TYPED]
+    )
+    def test_corpus_derivations_validate(self, example):
+        deriv, theta = derive(example.term(), example.env())
+        validate(deriv, example.env(), theta=theta)
+
+    def test_tampered_type_rejected(self):
+        deriv, theta = derive(e("poly ~id"), PRELUDE)
+        forged = Derivation(deriv.rule, deriv.term, t("Bool"), deriv.children, deriv.data)
+        with pytest.raises(InvalidDerivation):
+            validate(forged, PRELUDE, theta=theta)
+
+    def test_tampered_freeze_rejected(self):
+        deriv, theta = derive(e("~id"), PRELUDE)
+        forged = Derivation("Freeze", deriv.term, t("Int -> Int"))
+        with pytest.raises(InvalidDerivation):
+            validate(forged, PRELUDE, theta=theta)
+
+    def test_non_principal_let_rejected(self):
+        """bad5's hypothetical derivation: assigning f the non-principal
+        type Int -> Int is exactly what `principal` forbids."""
+        inner, _ = derive(e("fun x -> x"), PRELUDE)
+        specialised = zonk_derivation(
+            inner, Subst({name: t("Int") for name in _free_flex(inner)})
+        )
+        body, _ = derive(e("g 42"), PRELUDE.extend("g", t("Int -> Int")))
+        body = Derivation(
+            body.rule,
+            e("~f 42"),
+            body.ty,
+            (Derivation("Freeze", e("~f"), t("Int -> Int")), body.children[1]),
+        )
+        forged = Derivation(
+            "Let",
+            e("let f = fun x -> x in ~f 42"),
+            t("Int"),
+            (specialised, body),
+            data={"var": "f", "binders": (), "var_ty": t("Int -> Int")},
+        )
+        with pytest.raises(InvalidDerivation):
+            validate(forged, PRELUDE)
+
+    def test_unannotated_poly_param_rejected(self):
+        deriv, theta = derive(e("fun (x : forall a. a -> a) -> x"), PRELUDE)
+        # re-label the annotated lambda as an unannotated one
+        forged = Derivation("Lam", deriv.term, deriv.ty, deriv.children, deriv.data)
+        with pytest.raises(InvalidDerivation):
+            validate(forged, PRELUDE, theta=theta)
+
+    def test_generalising_nonvalue_rejected(self):
+        deriv, theta = derive(e("let xs = single id in xs"), PRELUDE)
+        bound, body = deriv.children
+        forged = Derivation(
+            "Let",
+            deriv.term,
+            deriv.ty,
+            (bound, body),
+            data={**deriv.data, "binders": ("%zz",)},
+        )
+        with pytest.raises(InvalidDerivation):
+            validate(forged, PRELUDE, theta=theta)
+
+    def test_validation_without_principality_is_weaker(self):
+        deriv, theta = derive(e("let f = fun x -> x in f 1"), PRELUDE)
+        validate(deriv, PRELUDE, theta=theta, check_principality=False)
+        validate(deriv, PRELUDE, theta=theta, check_principality=True)
+
+
+def _free_flex(deriv):
+    from repro.core.types import ftv
+    from repro.names import is_flexible_name
+
+    return [n for n in ftv(deriv.ty) if is_flexible_name(n)]

@@ -1,0 +1,144 @@
+"""Edge cases and failure injection across the stack."""
+
+import pytest
+
+from repro.core.infer import infer_raw, infer_type, typecheck
+from repro.core.kinds import Kind, KindEnv
+from repro.core.subst import Subst
+from repro.core.types import TVar, declare_constructor
+from repro.core.unify import unify
+from repro.errors import FreezeMLError, ParseError, UnificationError
+from repro.syntax.parser import parse_term, parse_type
+from tests.helpers import PRELUDE, assert_infers, e, fixed, flexible, t
+
+
+class TestUnifyEdges:
+    def test_vacuous_quantifier_not_droppable(self):
+        # forall a. Int and Int are different System F types
+        with pytest.raises(UnificationError):
+            unify(fixed(), flexible(), t("forall a. Int"), t("Int"))
+
+    def test_vacuous_quantifiers_unify_with_each_other(self):
+        _theta, subst = unify(
+            fixed(), flexible(), t("forall a. Int"), t("forall b. Int")
+        )
+        assert subst.is_identity()
+
+    def test_flexible_under_two_quantifier_scopes(self):
+        # x must not capture either skolem
+        theta = flexible(x="poly")
+        _out, subst = unify(
+            fixed(), theta,
+            t("forall a. a -> x"), t("forall b. b -> Int * Int"),
+        )
+        assert subst(TVar("x")) == t("Int * Int")
+
+    def test_bind_flexible_to_flexible_then_solve(self):
+        theta = flexible(x="poly", y="poly")
+        theta1, s1 = unify(fixed(), theta, t("x"), t("y"))
+        theta2, s2 = unify(fixed(), theta1, s1(t("x")), t("Int"))
+        total = s2.compose(s1)
+        assert total(TVar("x")) == total(TVar("y")) == t("Int")
+
+
+class TestInferEdges:
+    def test_deeply_shadowed_variables(self):
+        assert_infers(
+            "let x = 1 in let x = true in let x = fun y -> y in x x",
+            "a -> a",
+        )
+
+    def test_let_in_argument_position(self):
+        assert_infers("inc (let y = 41 in y + 1)", "Int")
+
+    def test_annotation_alpha_matters_with_scoping(self):
+        # Section 3.2: annotations cannot alpha-vary freely
+        good = "let (f : forall a. a -> a) = fun (x : a) -> x in f"
+        bad = "let (f : forall b. b -> b) = fun (x : a) -> x in f"
+        assert typecheck(e(good), PRELUDE)
+        assert not typecheck(e(bad), PRELUDE)
+
+    def test_frozen_variable_of_monotype_is_harmless(self):
+        assert_infers("~inc 1", "Int")
+
+    def test_empty_list_polymorphic(self):
+        from repro.core.terms import FrozenVar
+        from repro.corpus.compare import equivalent_types
+
+        assert_infers("[]", "List a")
+        # `~` only applies to identifiers in surface syntax; freeze the
+        # prelude's [] constant via the AST directly
+        frozen_nil = infer_type(FrozenVar("[]"), PRELUDE, normalise=False)
+        assert equivalent_types(frozen_nil, t("forall a. List a"))
+
+    def test_repeated_generalisation_idempotent(self):
+        assert_infers("$($(fun x -> x))@", "a -> a")
+
+    def test_instantiate_monomorphic_term_noop(self):
+        assert_infers("inc@", "Int -> Int")
+
+    def test_large_arity_apps(self):
+        assert_infers("pair 1 (pair true (pair inc ~id))",
+                      "Int * (Bool * ((Int -> Int) * (forall a. a -> a)))")
+
+
+class TestCustomConstructors:
+    def test_declare_and_use(self):
+        declare_constructor("Tree", 1)
+        ty = parse_type("forall a. Tree a -> List a")
+        env = PRELUDE.extend("flatten", ty)
+        result = infer_type(e("flatten"), env, normalise=False)
+        from repro.corpus.compare import equivalent_types
+
+        assert equivalent_types(result, t("Tree a -> List a"))
+
+    def test_redeclaration_conflict(self):
+        declare_constructor("Graph", 2)
+        with pytest.raises(ValueError):
+            declare_constructor("Graph", 3)
+
+
+class TestParserEdges:
+    def test_deep_nesting(self):
+        src = "(" * 30 + "x" + ")" * 30
+        assert parse_term(src) == parse_term("x")
+
+    def test_unbalanced(self):
+        with pytest.raises(ParseError):
+            parse_term("(x")
+
+    def test_freeze_requires_identifier(self):
+        with pytest.raises(ParseError):
+            parse_term("~(f x)")
+
+    def test_dollar_requires_var_or_parens(self):
+        with pytest.raises(ParseError):
+            parse_term("$42")
+
+    def test_annotation_missing_type(self):
+        with pytest.raises(ParseError):
+            parse_term("fun (x :) -> x")
+
+    def test_keywords_not_variables(self):
+        with pytest.raises(ParseError):
+            parse_term("let let = 1 in 2")
+
+
+class TestRobustness:
+    def test_unused_flexible_vars_harmless(self):
+        # inference introduces vars it never solves; results stay stable
+        result = infer_raw(e("fun x -> 42"), PRELUDE)
+        assert str(result.ty).endswith("-> Int")
+        assert str(infer_type(e("fun x -> 42"), PRELUDE)) == "a -> Int"
+
+    def test_substitution_injected_noise(self):
+        # feeding an unrelated idempotent substitution through apply is
+        # the identity on closed types
+        s = Subst({"zz": t("Int")})
+        closed = t("forall a. a -> a")
+        assert s(closed) == closed
+
+    def test_kind_env_large(self):
+        env = KindEnv((f"v{i}", Kind.POLY) for i in range(500))
+        assert len(env) == 500
+        assert env.kind_of("v250") is Kind.POLY

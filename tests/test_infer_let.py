@@ -1,0 +1,155 @@
+"""Unit tests for let typing: generalisation, the value restriction,
+principality and annotated lets (Figure 16, lower half; Sections 2, 3.2)."""
+
+import pytest
+
+from repro.core.infer import infer_definition, infer_raw, typecheck
+from repro.core.kinds import Kind
+from repro.errors import (
+    AnnotationError,
+    SkolemEscapeError,
+    TypeInferenceError,
+    UnificationError,
+)
+from tests.helpers import PRELUDE, assert_infers, e, infer, t
+
+
+class TestGeneralisation:
+    def test_guarded_value_generalises(self):
+        assert_infers("let f = fun x -> x in ~f", "forall a. a -> a")
+
+    def test_plain_use_instantiates(self):
+        assert_infers("let f = fun x -> x in f", "a -> a")
+
+    def test_generalisation_order_is_occurrence_order(self):
+        assert_infers("$(fun x y -> (x, y))", "forall a b. a -> b -> a * b")
+
+    def test_quantifier_order_restored_by_gen(self):
+        # Section 2 "Ordered Quantifiers": $pair' has canonical order
+        assert_infers("$pair'", "forall a b. a -> b -> a * b")
+        assert_infers("~pair'", "forall b a. a -> b -> a * b")
+
+    def test_env_variables_not_generalised(self):
+        # the lambda's parameter variable stays monomorphic inside
+        assert_infers(
+            "fun y -> let f = fun x -> y in ~f",
+            "a -> forall b. b -> a",
+        )
+
+
+class TestValueRestriction:
+    def test_non_value_not_generalised(self):
+        # (single id) is an application: no generalisation
+        assert not typecheck(e("let xs = single id in poly (head xs)"), PRELUDE)
+
+    def test_non_value_variables_demoted(self):
+        # bad3/bad4 (Section 3.2): residual variables become monomorphic in
+        # *both* orders -- inference must be order-insensitive.
+        bad3 = "fun (bot : forall a. a) -> let f = bot bot in (poly ~f, (f 42) + 1)"
+        bad4 = "fun (bot : forall a. a) -> let f = bot bot in ((f 42) + 1, poly ~f)"
+        assert not typecheck(e(bad3), PRELUDE)
+        assert not typecheck(e(bad4), PRELUDE)
+
+    def test_no_vr_generalises_non_values(self):
+        # $(id id) generalises the application only in "pure FreezeML"
+        src = "poly $(id id)"
+        assert not typecheck(e(src), PRELUDE)
+        assert typecheck(e(src), PRELUDE, value_restriction=False)
+
+    def test_frozen_tail_lets_are_not_generalised_again(self):
+        # $V freezes the generalised binding; the outer let sees a poly type
+        assert_infers("let g = $(fun x -> x) in (g 1, g true)", "Int * Bool")
+
+
+class TestPrincipality:
+    def test_bad5_bad6_rejected(self):
+        # the principal type for f is forall a. a -> a; the declarative
+        # system may not pick Int -> Int instead (Section 3.2)
+        assert not typecheck(e("let f = fun x -> x in ~f 42"), PRELUDE)
+        assert not typecheck(e("let f = fun x -> x in id ~f 42"), PRELUDE)
+
+    def test_let_bound_types_are_principal(self):
+        from repro.core.check import principal_type_of
+        from repro.core.types import alpha_equal
+
+        ty, _kinds = principal_type_of(e("$(fun x -> x)"), PRELUDE)
+        assert alpha_equal(ty, t("forall a. a -> a"))
+
+
+class TestAnnotatedLet:
+    def test_matching_annotation(self):
+        assert_infers(
+            "let (f : forall a. a -> a) = fun x -> x in (f 1, f true)",
+            "Int * Bool",
+        )
+
+    def test_non_principal_annotation_allowed(self):
+        # annotated lets may assign a *less general* type (unlike plain let)
+        assert_infers(
+            "let (f : Int -> Int) = fun x -> x in f 1",
+            "Int",
+        )
+        # ...and then the polymorphic uses are gone:
+        assert not typecheck(
+            e("let (f : Int -> Int) = fun x -> x in f true"), PRELUDE
+        )
+
+    def test_wrong_annotation_rejected(self):
+        assert not typecheck(
+            e("let (f : Int -> Bool) = fun x -> x in f 1"), PRELUDE
+        )
+
+    def test_scoped_type_variables(self):
+        # the annotation's quantifiers scope over the bound term
+        assert_infers(
+            "let (f : forall a. a -> a) = fun (x : a) -> x in f 3",
+            "Int",
+        )
+
+    def test_skolem_escape_rejected(self):
+        # the annotation variable may not leak into the ambient context:
+        # here `a` would have to equal the outer parameter's type.
+        src = "fun y -> let (f : forall a. a -> a) = fun (x : a) -> y in f"
+        with pytest.raises((SkolemEscapeError, TypeInferenceError)):
+            infer_raw(e(src), PRELUDE)
+
+    def test_annotation_on_non_value_uses_term_polymorphism(self):
+        # M not a guarded value: all quantifiers must come from M itself
+        assert_infers(
+            "let (f : forall a. a -> a) = head ids in (f 1, f true)",
+            "Int * Bool",
+        )
+
+    def test_annotation_on_non_value_cannot_generalise(self):
+        # single id : List (a -> a); the annotation would need generalisation
+        assert not typecheck(
+            e("let (xs : forall a. List (a -> a)) = single id in xs"), PRELUDE
+        )
+
+
+class TestDefinitions:
+    def test_definition_generalises_guarded_values(self):
+        # user-written binder `a` is kept; the generalised variable gets
+        # the next free display name
+        ty = infer_definition("auto'", e("fun (x : forall a. a -> a) -> x x"), PRELUDE)
+        assert str(ty) == "forall b. (forall a. a -> a) -> b -> b"
+
+    def test_definition_value_restriction(self):
+        ty = infer_definition("ids2", e("[~id]"), PRELUDE)
+        assert ty == t("List (forall a. a -> a)")
+
+    def test_figure2_signatures_rederived(self):
+        # F1-F4 recover the Figure 2 prelude entries
+        from repro.core.types import alpha_equal
+
+        cases = {
+            "$(fun x -> x)": "forall a. a -> a",
+            "[~id]": "List (forall a. a -> a)",
+            "fun (x : forall a. a -> a) -> x ~x":
+                "(forall a. a -> a) -> forall a. a -> a",
+            "fun (x : forall a. a -> a) -> x x":
+                "forall b. (forall a. a -> a) -> b -> b",
+        }
+        for src, expected in cases.items():
+            ty = infer_definition("d", e(src), PRELUDE)
+            assert alpha_equal(ty, t(expected)), src

@@ -1,0 +1,169 @@
+"""End-to-end programs combining every feature: Church encodings (the
+canonical System F workload), rank-2 callbacks, self-application, and
+multi-stage programs through parse -> infer -> validate -> elaborate ->
+F-typecheck -> evaluate."""
+
+import pytest
+
+from repro.core.derivation import derive, validate
+from repro.core.infer import infer_type, typecheck
+from repro.core.types import alpha_equal
+from repro.corpus.compare import equivalent_types
+from repro.semantics import eval_freezeml, value_prelude
+from repro.syntax.parser import parse_term, parse_type
+from repro.systemf.typecheck import typecheck_f
+from repro.translate import elaborate
+from tests.helpers import PRELUDE, e, t
+
+CHURCH = "forall a. (a -> a) -> a -> a"
+
+
+class TestChurchNumerals:
+    """Church numerals have the impredicative type forall a.(a->a)->a->a;
+    numerals-as-data requires first-class polymorphism to, e.g., put them
+    in lists or self-apply them."""
+
+    ZERO = f"$(fun s z -> z : {CHURCH})"
+    TWO = f"$(fun s z -> s (s z) : {CHURCH})"
+
+    def test_numerals_have_church_type(self):
+        assert alpha_equal(infer_type(e(self.TWO), PRELUDE, normalise=False), t(CHURCH))
+
+    def test_numerals_in_a_list(self):
+        src = f"[{self.ZERO}, {self.TWO}]"
+        assert equivalent_types(
+            infer_type(e(src), PRELUDE), t(f"List ({CHURCH})")
+        )
+
+    def test_church_arithmetic_types(self):
+        # succ : Church -> Church, with the result regeneralised
+        succ = (
+            f"fun (n : {CHURCH}) -> $(fun s z -> s (n s z) : {CHURCH})"
+        )
+        assert equivalent_types(
+            infer_type(e(succ), PRELUDE, normalise=False),
+            t(f"({CHURCH}) -> {CHURCH}"),
+        )
+
+    def test_numerals_evaluate(self):
+        # observe TWO at Int: apply to inc and 0
+        src = f"({self.TWO})@ inc 0"
+        assert eval_freezeml(e(src)) is None or True  # needs prelude inc
+        value = eval_freezeml(e(src), value_prelude())
+        assert value == 2
+
+    def test_exponentiation_by_self_application(self):
+        # n n : self-application of a Church numeral needs impredicativity
+        src = f"let two = {self.TWO} in (two (two inc)) 0"
+        value = eval_freezeml(e(src), value_prelude())
+        assert value == 4
+        assert equivalent_types(infer_type(e(src), PRELUDE), t("Int"))
+
+    def test_full_pipeline(self):
+        term = e(f"let two = {self.TWO} in two inc 0")
+        ty = infer_type(term, PRELUDE, normalise=False)
+        deriv, theta = derive(term, PRELUDE)
+        validate(deriv, PRELUDE, theta=theta)
+        result = elaborate(term, PRELUDE)
+        f_ty = typecheck_f(result.fterm, PRELUDE, result.residual)
+        assert alpha_equal(f_ty, ty)
+        assert eval_freezeml(term, value_prelude()) == 2
+
+
+class TestRank2Callbacks:
+    """The classic rank-2 idiom: a function receiving a polymorphic
+    visitor and using it at several types."""
+
+    def test_visitor(self):
+        src = (
+            "fun (visit : forall a. List a -> Int) -> "
+            "visit [1, 2] + visit [true]"
+        )
+        assert equivalent_types(
+            infer_type(e(src), PRELUDE, normalise=False),
+            t("(forall a. List a -> Int) -> Int"),
+        )
+
+    def test_visitor_called(self):
+        src = (
+            "(fun (visit : forall a. List a -> Int) -> "
+            "visit [1, 2] + visit [true]) ~length"
+        )
+        assert eval_freezeml(e(src), value_prelude()) == 3
+        assert equivalent_types(infer_type(e(src), PRELUDE), t("Int"))
+
+    def test_polymorphic_pipeline(self):
+        # build a pipeline of polymorphic transforms and apply it twice
+        src = (
+            "let (compose2 : (forall a. a -> a) -> (forall a. a -> a) "
+            "-> forall a. a -> a) = "
+            "fun (f : forall a. a -> a) (g : forall a. a -> a) -> "
+            "$(fun x -> f (g x)) in "
+            "let h = compose2 ~id ~id in (h 1, h true)"
+        )
+        assert equivalent_types(infer_type(e(src), PRELUDE), t("Int * Bool"))
+
+
+class TestSelfApplication:
+    def test_unannotated_self_application_fails(self):
+        assert not typecheck(e("fun x -> x x"), PRELUDE)
+
+    def test_annotated_self_application(self):
+        assert equivalent_types(
+            infer_type(e("fun (x : forall a. a -> a) -> x x"), PRELUDE),
+            t("(forall a. a -> a) -> b -> b"),
+        )
+
+    def test_omega_is_rejected_even_annotated_wrong(self):
+        assert not typecheck(e("(fun x -> x x) (fun x -> x x)"), PRELUDE)
+
+    def test_auto_auto(self):
+        # auto ~auto needs auto's argument at type forall a. a -> a,
+        # but auto's own type is more specific: rejected.
+        assert not typecheck(e("auto ~auto"), PRELUDE)
+
+    def test_auto_applied_through_id(self):
+        assert equivalent_types(
+            infer_type(e("id auto ~id"), PRELUDE, normalise=False),
+            t("forall a. a -> a"),
+        )
+
+
+class TestBiggerPrograms:
+    def test_polymorphic_map_of_polymorphic_functions(self):
+        src = "map poly (~id :: single $(fun y -> y))"
+        assert equivalent_types(
+            infer_type(e(src), PRELUDE), t("List (Int * Bool)")
+        )
+        assert eval_freezeml(e(src), value_prelude()) == [(42, True), (42, True)]
+
+    def test_deeply_nested_lets_with_marks(self):
+        src = (
+            "let a = $(fun x -> x) in "
+            "let b = ~a :: ids in "
+            "let c = map poly b in "
+            "let d = head c in "
+            "(fst d) + (length c)"
+        )
+        assert equivalent_types(infer_type(e(src), PRELUDE), t("Int"))
+        assert eval_freezeml(e(src), value_prelude()) == 44
+
+    def test_shadowing_with_marks(self):
+        src = "let id = fun x -> 7 in id 0"
+        assert equivalent_types(infer_type(e(src), PRELUDE), t("Int"))
+        assert eval_freezeml(e(src), value_prelude()) == 7
+
+    def test_everything_validates(self):
+        sources = [
+            "map poly (~id :: single $(fun y -> y))",
+            "let two = $(fun s z -> s (s z)) in two inc 0",
+            "revapp ~argST runST + runST ~argST",
+        ]
+        for src in sources:
+            term = e(src)
+            deriv, theta = derive(term, PRELUDE)
+            validate(deriv, PRELUDE, theta=theta)
+            result = elaborate(term, PRELUDE)
+            assert alpha_equal(
+                typecheck_f(result.fterm, PRELUDE, result.residual), result.ty
+            )

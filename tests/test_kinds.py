@@ -1,0 +1,63 @@
+"""Unit tests for kinds and kind environments (Figures 3 and 12)."""
+
+import pytest
+
+from repro.core.kinds import Kind, KindEnv, fixed_env
+
+
+class TestKind:
+    def test_join(self):
+        assert Kind.MONO.join(Kind.MONO) is Kind.MONO
+        assert Kind.MONO.join(Kind.POLY) is Kind.POLY
+        assert Kind.POLY.join(Kind.MONO) is Kind.POLY
+        assert Kind.POLY.join(Kind.POLY) is Kind.POLY
+
+    def test_leq_upcast(self):
+        assert Kind.MONO.leq(Kind.POLY)
+        assert Kind.MONO.leq(Kind.MONO)
+        assert Kind.POLY.leq(Kind.POLY)
+        assert not Kind.POLY.leq(Kind.MONO)
+
+
+class TestKindEnv:
+    def test_extend_and_lookup(self):
+        env = KindEnv.empty().extend("a", Kind.MONO).extend("b", Kind.POLY)
+        assert env.kind_of("a") is Kind.MONO
+        assert env.kind_of("b") is Kind.POLY
+        assert "a" in env and "c" not in env
+
+    def test_duplicate_rejected(self):
+        env = KindEnv.empty().extend("a", Kind.MONO)
+        with pytest.raises(ValueError):
+            env.extend("a", Kind.POLY)
+
+    def test_order_preserved(self):
+        env = fixed_env(["x", "y", "z"])
+        assert env.names() == ("x", "y", "z")
+
+    def test_remove(self):
+        env = fixed_env(["a", "b", "c"]).remove(["b"])
+        assert env.names() == ("a", "c")
+
+    def test_set_kinds_demotion(self):
+        env = KindEnv([("a", Kind.POLY), ("b", Kind.POLY)])
+        demoted = env.set_kinds(["a"], Kind.MONO)
+        assert demoted.kind_of("a") is Kind.MONO
+        assert demoted.kind_of("b") is Kind.POLY
+        # original untouched (immutability)
+        assert env.kind_of("a") is Kind.POLY
+
+    def test_concat_requires_disjoint(self):
+        left = fixed_env(["a"])
+        with pytest.raises(ValueError):
+            left.concat(fixed_env(["a"]))
+        assert left.concat(fixed_env(["b"])).names() == ("a", "b")
+
+    def test_disjoint(self):
+        assert fixed_env(["a"]).disjoint(fixed_env(["b"]))
+        assert not fixed_env(["a"]).disjoint(["a"])
+
+    def test_lookup_missing(self):
+        assert KindEnv.empty().lookup("a") is None
+        with pytest.raises(KeyError):
+            KindEnv.empty().kind_of("a")

@@ -1,0 +1,143 @@
+"""Mini-ML tests: Algorithm W, conservativity (Theorem 1), and the
+ML -> System F translation (Theorem 8; Appendix B)."""
+
+import pytest
+
+from repro.core.infer import infer_type
+from repro.core.types import alpha_equal
+from repro.corpus.compare import equivalent_types
+from repro.errors import MLTypeError
+from repro.ml.syntax import is_ml_scheme, is_ml_term, is_ml_value
+from repro.ml.translate import ml_to_system_f
+from repro.ml.typecheck import ml_infer_type, ml_typecheck
+from repro.systemf.typecheck import typecheck_f
+from tests.helpers import PRELUDE, e, t
+from repro.core.env import TypeEnv
+
+ML_ENV = TypeEnv(
+    [
+        ("inc", t("Int -> Int")),
+        ("plus", t("Int -> Int -> Int")),
+        ("single", t("forall a. a -> List a")),
+        ("cons", t("forall a. a -> List a -> List a")),
+        ("choose", t("forall a. a -> a -> a")),
+    ]
+)
+
+
+class TestFragment:
+    def test_ml_terms(self):
+        assert is_ml_term(e("fun x -> let y = x in y"))
+        assert not is_ml_term(e("~x"))
+        assert not is_ml_term(e("fun (x : Int) -> x"))
+        assert not is_ml_term(e("let (x : Int) = 1 in x"))
+
+    def test_ml_schemes(self):
+        assert is_ml_scheme(t("forall a b. a -> b"))
+        assert is_ml_scheme(t("Int"))
+        assert not is_ml_scheme(t("List (forall a. a)"))
+        assert not is_ml_scheme(t("(forall a. a -> a) -> Int"))
+
+    def test_ml_values(self):
+        assert is_ml_value(e("fun x -> x"))
+        assert not is_ml_value(e("inc 1"))
+
+
+class TestAlgorithmW:
+    def test_basics(self):
+        assert ml_infer_type(e("fun x -> x"), ML_ENV) is not None
+        assert equivalent_types(ml_infer_type(e("inc 1"), ML_ENV), t("Int"))
+
+    def test_let_polymorphism(self):
+        src = "let f = fun x -> x in (f 1, plus (f 2) 3)"
+        # no pairs in pure ML env; use application chain instead:
+        src = "let f = fun x -> x in plus (f 1) (f 2)"
+        assert equivalent_types(ml_infer_type(e(src), ML_ENV), t("Int"))
+
+    def test_lambda_monomorphism(self):
+        assert not ml_typecheck(e("fun f -> plus (f 1) (f true)"), ML_ENV)
+
+    def test_value_restriction(self):
+        # choose 1 is a non-value: its type is not generalised
+        src = "let g = choose (fun x -> x) in plus (g inc 1) 0"
+        assert ml_typecheck(e(src), ML_ENV)
+
+    def test_occurs_check(self):
+        assert not ml_typecheck(e("fun x -> x x"), ML_ENV)
+
+    def test_non_ml_scheme_in_env_rejected(self):
+        bad_env = TypeEnv([("w", t("(forall a. a) -> Int"))])
+        with pytest.raises(MLTypeError):
+            ml_infer_type(e("w"), bad_env)
+
+    def test_generalise_top(self):
+        ty = ml_infer_type(e("fun x -> x"), ML_ENV, generalise_top=True)
+        assert alpha_equal(ty, t("forall a. a -> a"))
+
+
+class TestConservativity:
+    """Theorem 1: ML judgements are FreezeML judgements."""
+
+    CASES = [
+        "fun x -> x",
+        "let f = fun x -> x in f (f 1)",
+        "fun x y -> x",
+        "let c = choose in c 1 2",
+        "let s = single in cons 1 (s 2)",
+        "fun f -> fun x -> f (f x)",
+        "let twice = fun f -> fun x -> f (f x) in twice inc 1",
+        "let i = fun x -> x in let k = fun x -> fun y -> x in k (i 1) (i true)",
+    ]
+
+    @pytest.mark.parametrize("src", CASES)
+    def test_same_type(self, src):
+        ml_ty = ml_infer_type(e(src), ML_ENV)
+        fz_ty = infer_type(e(src), ML_ENV, normalise=False)
+        assert equivalent_types(ml_ty, fz_ty), f"{src}: ML {ml_ty} vs FreezeML {fz_ty}"
+
+    @pytest.mark.parametrize(
+        "src", ["fun x -> x x", "fun f -> plus (f 1) (f true)"]
+    )
+    def test_same_failures(self, src):
+        from repro.core.infer import typecheck
+
+        assert not ml_typecheck(e(src), ML_ENV)
+        assert not typecheck(e(src), ML_ENV)
+
+
+class TestMLToSystemF:
+    """Theorem 8: the translation preserves types."""
+
+    CASES = [
+        "fun x -> x",
+        "let f = fun x -> x in f (f 1)",
+        "let twice = fun f -> fun x -> f (f x) in twice inc 1",
+        "let i = fun x -> x in let k = fun x -> fun y -> x in k (i 1) (i true)",
+        "let s = single in cons 1 (s 2)",
+    ]
+
+    @pytest.mark.parametrize("src", CASES)
+    def test_type_preserved(self, src):
+        term = e(src)
+        ml_ty = ml_infer_type(term, ML_ENV)
+        fterm, fty = ml_to_system_f(term, ML_ENV)
+        rechecked = typecheck_f(fterm, ML_ENV, _free_as_delta(fty, ml_ty))
+        assert equivalent_types(rechecked, ml_ty), src
+
+    def test_lets_become_type_abstractions(self):
+        from repro.systemf.syntax import FTyAbs, f_subterms
+
+        fterm, _ = ml_to_system_f(e("let f = fun x -> x in f (f 1)"), ML_ENV)
+        assert any(isinstance(s, FTyAbs) for s in f_subterms(fterm))
+
+
+def _free_as_delta(*types):
+    from repro.core.kinds import Kind, KindEnv
+    from repro.core.types import ftv
+
+    env = KindEnv.empty()
+    for ty in types:
+        for name in ftv(ty):
+            if name not in env:
+                env = env.extend(name, Kind.MONO)
+    return env

@@ -1,0 +1,66 @@
+"""Theorem 1 as a property: on randomly generated well-typed ML terms,
+classic Algorithm W and the FreezeML inferencer agree.  Experiment E5."""
+
+from hypothesis import given, settings
+
+from repro.core.env import TypeEnv
+from repro.core.infer import infer_type, typecheck
+from repro.corpus.compare import equivalent_types
+from repro.ml.syntax import is_ml_term
+from repro.ml.translate import ml_to_system_f
+from repro.ml.typecheck import ml_infer_type, ml_typecheck
+from repro.systemf.typecheck import typecheck_f
+from tests.strategies import ml_terms
+
+EMPTY = TypeEnv()
+
+
+@settings(max_examples=200, deadline=None)
+@given(ml_terms())
+def test_conservativity_types_agree(pair):
+    term, _tag = pair
+    assert is_ml_term(term)
+    ml_ty = ml_infer_type(term, EMPTY)
+    fz_ty = infer_type(term, EMPTY, normalise=False)
+    assert equivalent_types(ml_ty, fz_ty), f"{term}: {ml_ty} vs {fz_ty}"
+
+
+@settings(max_examples=200, deadline=None)
+@given(ml_terms())
+def test_ml_to_system_f_preserves_types(pair):
+    """Theorem 8 on random terms.
+
+    Residual unconstrained flexibles (e.g. the parameter type of an
+    unused lambda binder) are read as rigid variables of the checking
+    context, so the delta is collected from *every* type embedded in the
+    image, not just the result type.
+    """
+    from repro.core.kinds import Kind, KindEnv
+    from repro.core.types import ftv
+    from repro.systemf.syntax import FTyAbs, f_subterms, map_types
+
+    term, _tag = pair
+    ml_ty = ml_infer_type(term, EMPTY)
+    fterm, fty = ml_to_system_f(term, EMPTY)
+    embedded: list[str] = []
+
+    def collect(ty):
+        embedded.extend(ftv(ty))
+        return ty
+
+    map_types(fterm, collect)
+    bound = {s.var for s in f_subterms(fterm) if isinstance(s, FTyAbs)}
+    names = [
+        n for n in dict.fromkeys(tuple(embedded) + ftv(fty) + ftv(ml_ty))
+        if n not in bound
+    ]
+    delta = KindEnv((n, Kind.MONO) for n in names)
+    rechecked = typecheck_f(fterm, EMPTY, delta)
+    assert equivalent_types(rechecked, ml_ty)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ml_terms())
+def test_typeability_agrees(pair):
+    term, _tag = pair
+    assert ml_typecheck(term, EMPTY) == typecheck(term, EMPTY) == True  # noqa: E712

@@ -1,0 +1,137 @@
+"""Unit tests for the small substrate modules: name supply, type
+environments and the error hierarchy."""
+
+import pytest
+
+from repro.core.env import TypeEnv
+from repro.errors import (
+    EvaluationError,
+    FreezeMLError,
+    KindError,
+    MonomorphismError,
+    OccursCheckError,
+    ParseError,
+    ScopeError,
+    SkolemEscapeError,
+    TypeInferenceError,
+    UnboundVariableError,
+    UnificationError,
+)
+from repro.names import (
+    NameSupply,
+    display_names,
+    is_flexible_name,
+    is_skolem_name,
+)
+from tests.helpers import t
+
+
+class TestNameSupply:
+    def test_uniqueness(self):
+        supply = NameSupply()
+        names = [supply.fresh_flexible() for _ in range(100)]
+        names += [supply.fresh_skolem() for _ in range(100)]
+        names += [supply.fresh_term_var() for _ in range(100)]
+        assert len(set(names)) == 300
+
+    def test_classification(self):
+        supply = NameSupply()
+        assert is_flexible_name(supply.fresh_flexible())
+        assert is_skolem_name(supply.fresh_skolem())
+        assert not is_flexible_name("x") and not is_skolem_name("x")
+
+    def test_prefixed_supplies_disjoint(self):
+        plain = NameSupply()
+        prefixed = NameSupply(prefix="v")
+        a = {plain.fresh_flexible() for _ in range(50)}
+        b = {prefixed.fresh_flexible() for _ in range(50)}
+        assert not (a & b)
+
+    def test_user_identifiers_cannot_collide(self):
+        from repro.syntax.lexer import tokenize
+
+        supply = NameSupply()
+        for name in (supply.fresh_flexible(), supply.fresh_skolem()):
+            with pytest.raises(ParseError):
+                tokenize(name)
+
+    def test_display_names_skip_avoided(self):
+        stream = display_names({"a", "b"})
+        assert next(stream) == "c"
+
+    def test_display_names_roll_over(self):
+        import string
+
+        stream = display_names(set(string.ascii_lowercase))
+        assert next(stream) == "a1"
+
+
+class TestTypeEnv:
+    def test_lookup_and_shadowing(self):
+        env = TypeEnv([("x", t("Int"))]).extend("x", t("Bool"))
+        assert env.lookup("x") == t("Bool")
+
+    def test_unbound_raises(self):
+        with pytest.raises(UnboundVariableError):
+            TypeEnv().lookup("ghost")
+
+    def test_get_returns_none(self):
+        assert TypeEnv().get("ghost") is None
+
+    def test_immutability(self):
+        base = TypeEnv()
+        extended = base.extend("x", t("Int"))
+        assert "x" in extended and "x" not in base
+
+    def test_map_types(self):
+        from repro.core.subst import Subst
+
+        env = TypeEnv([("x", t("a -> a"))])
+        mapped = env.map_types(Subst.singleton("a", t("Int")).apply)
+        assert mapped.lookup("x") == t("Int -> Int")
+
+    def test_free_type_vars(self):
+        env = TypeEnv([("x", t("a -> b")), ("y", t("forall c. c -> a"))])
+        assert env.free_type_vars() == frozenset({"a", "b"})
+
+    def test_iteration(self):
+        env = TypeEnv([("x", t("Int")), ("y", t("Bool"))])
+        assert set(env) == {"x", "y"}
+        assert len(env) == 2
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_freezeml_errors(self):
+        for cls in (
+            ParseError,
+            KindError,
+            ScopeError,
+            TypeInferenceError,
+            UnificationError,
+            OccursCheckError,
+            SkolemEscapeError,
+            MonomorphismError,
+            UnboundVariableError,
+            EvaluationError,
+        ):
+            assert issubclass(cls, FreezeMLError)
+
+    def test_unification_family(self):
+        assert issubclass(OccursCheckError, UnificationError)
+        assert issubclass(UnificationError, TypeInferenceError)
+
+    def test_messages_carry_detail(self):
+        err = UnificationError(t("Int"), t("Bool"), "constructor clash")
+        assert "Int" in str(err) and "Bool" in str(err) and "clash" in str(err)
+        err2 = MonomorphismError("%1", t("forall a. a"))
+        assert "monomorphic" in str(err2)
+        err3 = ParseError("boom", 3, 7)
+        assert "3:7" in str(err3)
+
+    def test_catch_family_at_api_boundary(self):
+        from repro.core.infer import infer_raw
+        from repro.syntax.parser import parse_term
+        from tests.helpers import PRELUDE
+
+        with pytest.raises(FreezeMLError):
+            infer_raw(parse_term("auto id"), PRELUDE)

@@ -1,0 +1,175 @@
+"""Unit tests for the surface-syntax lexer and parser."""
+
+import pytest
+
+from repro.core.terms import (
+    App,
+    BoolLit,
+    FrozenVar,
+    IntLit,
+    Lam,
+    LamAnn,
+    Let,
+    LetAnn,
+    Var,
+    match_generalise,
+    match_generalise_ann,
+    match_instantiate,
+)
+from repro.core.types import TCon, TForall, TVar, arrow
+from repro.errors import ParseError
+from repro.syntax.lexer import tokenize
+from repro.syntax.parser import parse_term, parse_type
+
+
+class TestLexer:
+    def test_symbols(self):
+        kinds = [tok.kind for tok in tokenize("-> :: ++ ( ) ~ $ @ : = * + .")]
+        assert kinds == [
+            "ARROW", "DCOLON", "DPLUS", "LPAREN", "RPAREN", "TILDE",
+            "DOLLAR", "AT", "COLON", "EQUALS", "STAR", "PLUS", "DOT", "EOF",
+        ]
+
+    def test_keywords_vs_idents(self):
+        toks = tokenize("fun funky let letx in forall true")
+        assert [t.kind for t in toks[:-1]] == [
+            "FUN", "IDENT", "LET", "IDENT", "IN", "FORALL", "TRUE",
+        ]
+
+    def test_primes_in_idents(self):
+        toks = tokenize("auto' pair'")
+        assert [t.text for t in toks[:-1]] == ["auto'", "pair'"]
+
+    def test_comments_and_positions(self):
+        toks = tokenize("x # comment\n  y")
+        assert [t.text for t in toks[:-1]] == ["x", "y"]
+        assert toks[1].line == 2 and toks[1].column == 3
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x ? y")
+
+
+class TestTermParsing:
+    def test_application_left_assoc(self):
+        assert parse_term("f x y") == App(App(Var("f"), Var("x")), Var("y"))
+
+    def test_lambda_multi_param(self):
+        assert parse_term("fun x y -> x") == Lam("x", Lam("y", Var("x")))
+
+    def test_annotated_param(self):
+        term = parse_term("fun (x : Int) -> x")
+        assert term == LamAnn("x", TCon("Int"), Var("x"))
+
+    def test_mixed_params(self):
+        term = parse_term("fun x (y : Bool) -> y")
+        assert term == Lam("x", LamAnn("y", TCon("Bool"), Var("y")))
+
+    def test_freeze(self):
+        assert parse_term("~id") == FrozenVar("id")
+        assert parse_term("f ~id") == App(Var("f"), FrozenVar("id"))
+
+    def test_let_forms(self):
+        plain = parse_term("let x = 1 in x")
+        assert isinstance(plain, Let)
+        ann = parse_term("let (x : Int) = 1 in x")
+        assert isinstance(ann, LetAnn) and ann.ann == TCon("Int")
+
+    def test_dollar_variable(self):
+        inner = match_generalise(parse_term("$pair"))
+        assert inner == Var("pair")
+
+    def test_dollar_parenthesised(self):
+        inner = match_generalise(parse_term("$(fun x -> x)"))
+        assert inner == Lam("x", Var("x"))
+
+    def test_dollar_annotated(self):
+        ann, inner = match_generalise_ann(parse_term("$(fun x -> x : forall a. a -> a)"))
+        assert isinstance(ann, TForall)
+        assert inner == Lam("x", Var("x"))
+
+    def test_at_postfix(self):
+        inner = match_instantiate(parse_term("(head ids)@"))
+        assert inner == App(Var("head"), Var("ids"))
+
+    def test_double_at(self):
+        outer = match_instantiate(parse_term("x@@"))
+        assert match_instantiate(outer) == Var("x")
+
+    def test_operators_desugar(self):
+        assert parse_term("x :: xs") == App(App(Var("::"), Var("x")), Var("xs"))
+        assert parse_term("xs ++ ys") == App(App(Var("++"), Var("xs")), Var("ys"))
+        assert parse_term("1 + 2") == App(App(Var("+"), IntLit(1)), IntLit(2))
+
+    def test_cons_right_assoc(self):
+        term = parse_term("x :: y :: zs")
+        assert term == App(
+            App(Var("::"), Var("x")),
+            App(App(Var("::"), Var("y")), Var("zs")),
+        )
+
+    def test_list_literals(self):
+        assert parse_term("[]") == Var("[]")
+        one = parse_term("[x]")
+        assert one == App(App(Var("::"), Var("x")), Var("[]"))
+
+    def test_pair_literal(self):
+        term = parse_term("(x, y)")
+        assert term == App(App(Var("pair"), Var("x")), Var("y"))
+
+    def test_literals(self):
+        assert parse_term("42") == IntLit(42)
+        assert parse_term("true") == BoolLit(True)
+
+    def test_precedence_app_tighter_than_cons(self):
+        term = parse_term("f x :: g y")
+        assert term == App(
+            App(Var("::"), App(Var("f"), Var("x"))),
+            App(Var("g"), Var("y")),
+        )
+
+    def test_errors_have_positions(self):
+        with pytest.raises(ParseError) as err:
+            parse_term("let = 3 in x")
+        assert "expected" in str(err.value)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_term("x y )")
+
+
+class TestTypeParsing:
+    def test_arrow_right_assoc(self):
+        ty = parse_type("a -> b -> c")
+        assert ty == arrow(TVar("a"), arrow(TVar("b"), TVar("c")))
+
+    def test_product_binds_tighter_than_arrow(self):
+        ty = parse_type("a * b -> c")
+        assert ty == arrow(TCon("*", (TVar("a"), TVar("b"))), TVar("c"))
+
+    def test_forall_spans_right(self):
+        ty = parse_type("forall a. a -> a")
+        assert ty == TForall("a", arrow(TVar("a"), TVar("a")))
+
+    def test_multi_binder(self):
+        ty = parse_type("forall a b. a -> b")
+        assert ty == TForall("a", TForall("b", arrow(TVar("a"), TVar("b"))))
+
+    def test_constructor_application(self):
+        assert parse_type("List Int") == TCon("List", (TCon("Int"),))
+        assert parse_type("ST s Int") == TCon("ST", (TVar("s"), TCon("Int")))
+
+    def test_nested_constructor_needs_parens(self):
+        ty = parse_type("List (forall a. a -> a)")
+        assert isinstance(ty.args[0], TForall)
+
+    def test_unknown_constructor(self):
+        with pytest.raises(ParseError):
+            parse_type("Mystery a")
+
+    def test_arity_in_atom_position(self):
+        with pytest.raises(ParseError):
+            parse_type("List List Int")  # inner List lacks its argument
+
+    def test_unicode_product(self):
+        assert parse_type("a × b") == parse_type("a * b")

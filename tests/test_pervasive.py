@@ -1,0 +1,104 @@
+"""Pervasive instantiation (Section 3.2, third strategy)."""
+
+import pytest
+
+from repro.core.infer import infer_type
+from repro.corpus.compare import equivalent_types
+from repro.errors import FreezeMLError
+from repro.extensions import FreezeTerm, infer_type_pervasive
+from tests.helpers import PRELUDE, e, t
+
+
+def pv(source_or_term, **options):
+    term = e(source_or_term) if isinstance(source_or_term, str) else source_or_term
+    return infer_type_pervasive(term, PRELUDE, normalise=False, **options)
+
+
+class TestInstantiatesEverything:
+    def test_application_results_instantiate(self):
+        # head ids : a -> a now (Figure 1 says forall a. a -> a)
+        assert equivalent_types(pv("head ids"), t("a -> a"))
+
+    def test_terms_apply_directly(self):
+        assert equivalent_types(pv("(head ids) 42"), t("Int"))
+
+    def test_unfrozen_let_bound_term_applies(self):
+        # bad5 itself stays ill-typed: its function is *frozen*, and
+        # pervasive instantiation never touches frozen terms (contrast
+        # with eliminator instantiation, which instantiates anything in
+        # application position).  The unfrozen variant works directly.
+        with pytest.raises(FreezeMLError):
+            pv("let f = fun x -> x in ~f 42")
+        assert equivalent_types(pv("let f = fun x -> x in f 42"), t("Int"))
+
+    def test_variables_unchanged(self):
+        assert equivalent_types(pv("id"), t("a -> a"))
+
+
+class TestFrozenTermsEscape:
+    def test_frozen_variable(self):
+        assert equivalent_types(pv("~id"), t("forall a. a -> a"))
+
+    def test_frozen_arbitrary_term(self):
+        frozen = FreezeTerm(e("head ids"))
+        assert equivalent_types(pv(frozen), t("forall a. a -> a"))
+
+    def test_nested_freeze(self):
+        frozen = FreezeTerm(FreezeTerm(e("head ids")))
+        assert equivalent_types(pv(frozen), t("forall a. a -> a"))
+
+    def test_frozen_term_in_argument_position(self):
+        from repro.core.terms import App
+
+        term = App(e("poly"), FreezeTerm(e("head ids")))
+        assert equivalent_types(pv(term), t("Int * Bool"))
+
+    def test_generalisation_escapes(self):
+        assert equivalent_types(pv("$(fun x -> x)"), t("forall a. a -> a"))
+        assert equivalent_types(pv("poly $(fun x -> x)"), t("Int * Bool"))
+
+    def test_annotated_generalisation_escapes(self):
+        assert equivalent_types(
+            pv("$(fun x -> x : forall a. a -> a)"), t("forall a. a -> a")
+        )
+
+
+class TestRequiresMoreGeneralisation:
+    def test_cons_needs_freeze_still(self):
+        from repro.core.terms import App, Var
+
+        # (head ids) :: ids  now *fails*: the head is instantiated
+        with pytest.raises(FreezeMLError):
+            pv("(head ids) :: ids")
+        # ...unless frozen with the generalised operator
+        term = App(App(Var("::"), FreezeTerm(e("head ids"))), e("ids"))
+        assert equivalent_types(pv(term), t("List (forall a. a -> a)"))
+
+    def test_figure1_terms_that_change(self):
+        # F8: choose (head ids) degenerates to the F8* variant's type
+        assert equivalent_types(pv("choose (head ids)"), t("(a -> a) -> a -> a"))
+
+    def test_still_rejects_bad_family(self):
+        for bad in [
+            "fun f -> (f 42, f true)",
+            "fun f -> (poly ~f, (f 42) + 1)",
+            "fun f -> ((f 42) + 1, poly ~f)",
+        ]:
+            with pytest.raises(FreezeMLError):
+                pv(bad)
+
+
+class TestAgainstOtherStrategies:
+    SOURCES = ["poly ~id", "single ~id", "length ids", "inc 1", "choose id"]
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_agrees_on_guarded_results(self, src):
+        default = infer_type(e(src), PRELUDE, normalise=False)
+        pervasive = pv(src)
+        assert equivalent_types(default, pervasive), src
+
+    def test_strictly_more_permissive_than_eliminator(self):
+        # eliminator only instantiates in application position; pervasive
+        # also instantiates, e.g., let-bound terms
+        src = "let x = ~id in 0"
+        assert equivalent_types(pv(src), t("Int"))

@@ -1,0 +1,75 @@
+"""Pretty-printer tests: output parses back to an alpha-equal term."""
+
+import pytest
+
+from repro.core.terms import alpha_equal_terms
+from repro.core.types import alpha_equal
+from repro.syntax.parser import parse_term, parse_type
+from repro.syntax.pretty import pretty_term, pretty_type
+
+TERM_SOURCES = [
+    "fun x y -> y",
+    "$(fun x y -> y)",
+    "choose ~id",
+    "choose [] ids",
+    "fun (x : forall a. a -> a) -> x ~x",
+    "f (choose ~id) ids",
+    "poly $(fun x -> x)",
+    "~id :: ids",
+    "single inc ++ single id",
+    "map poly (single ~id)",
+    "k $(fun x -> (h x)@) l",
+    "r $(fun x -> $(fun y -> y))",
+    "(head ids)@ 3",
+    "let f = revapp ~id in f poly",
+    "let (f : forall a. a -> a) = fun (x : a) -> x in f 3",
+    "choose id (fun (x : forall a. a -> a) -> $(auto' ~x))",
+    "(1, true)",
+    "[~id, $(fun x -> x)]",
+    "1 + 2 + 3",
+    "$pair'",
+    "x@@",
+    "$(fun x -> x : forall a. a -> a)",
+    "fun f -> (poly ~f, (f 42) + 1)",
+]
+
+
+@pytest.mark.parametrize("source", TERM_SOURCES)
+def test_term_roundtrip(source):
+    term = parse_term(source)
+    printed = pretty_term(term)
+    reparsed = parse_term(printed)
+    assert alpha_equal_terms(term, reparsed), f"{source!r} -> {printed!r}"
+
+
+TYPE_SOURCES = [
+    "forall a. a -> a",
+    "(forall a. a -> a) -> Int * Bool",
+    "forall a b. (a -> b) -> List a -> List b",
+    "List (forall a. a -> a)",
+    "forall a. (forall s. ST s a) -> a",
+    "forall b a. a -> b -> a * b",
+    "Int * Bool -> Bool * Int",
+    "(a -> a) -> a -> a",
+    "forall a. a -> forall b. b -> b",
+    "List (List (Int * (Bool -> Int)))",
+]
+
+
+@pytest.mark.parametrize("source", TYPE_SOURCES)
+def test_type_roundtrip(source):
+    ty = parse_type(source)
+    printed = pretty_type(ty)
+    assert alpha_equal(parse_type(printed), ty), f"{source!r} -> {printed!r}"
+
+
+def test_unicode_mode():
+    ty = parse_type("forall a. a -> a * Int")
+    assert pretty_type(ty, unicode=True) == "∀a. a → a × Int"
+
+
+def test_operator_resugaring():
+    assert pretty_term(parse_term("x :: y :: []")) == "[x, y]"
+    assert pretty_term(parse_term("xs ++ ys")) == "xs ++ ys"
+    assert pretty_term(parse_term("(a, b)")) == "(a, b)"
+    assert pretty_term(parse_term("$pair")) == "$pair"

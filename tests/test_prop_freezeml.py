@@ -1,0 +1,103 @@
+"""Property tests over randomly generated *full-FreezeML* terms.
+
+Every generated term promises a type; the properties check the promise
+against the inferencer, then cross-validate through all three
+independent checkers: the declarative instance relation, the Figure 7
+derivation validator, and the System F typechecker on the elaborated
+image.  Finally the evaluator must not crash on any well-typed term
+(type soundness, observationally)."""
+
+from hypothesis import given, settings
+
+from repro.core.check import typeable
+from repro.core.derivation import derive, validate
+from repro.core.infer import infer_type
+from repro.core.types import alpha_equal
+from repro.corpus.compare import equivalent_types
+from repro.semantics import eval_freezeml, value_prelude
+from repro.systemf.typecheck import typecheck_f
+from repro.translate import elaborate
+from tests.freezeml_strategies import freezeml_terms, surface_type
+from tests.helpers import PRELUDE
+
+SETTINGS = dict(max_examples=120, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(freezeml_terms())
+def test_generated_terms_have_promised_type(pair):
+    term, tag = pair
+    inferred = infer_type(term, PRELUDE, normalise=False)
+    assert equivalent_types(inferred, surface_type(tag)), (
+        f"{term} promised {tag}, inferred {inferred}"
+    )
+
+
+@settings(**SETTINGS)
+@given(freezeml_terms())
+def test_declarative_relation_agrees(pair):
+    term, tag = pair
+    assert typeable(term, surface_type(tag), PRELUDE)
+
+
+@settings(**SETTINGS)
+@given(freezeml_terms())
+def test_derivations_validate(pair):
+    term, _tag = pair
+    deriv, theta = derive(term, PRELUDE)
+    validate(deriv, PRELUDE, theta=theta)
+
+
+@settings(**SETTINGS)
+@given(freezeml_terms())
+def test_elaboration_type_preserving(pair):
+    term, _tag = pair
+    result = elaborate(term, PRELUDE)
+    f_ty = typecheck_f(result.fterm, PRELUDE, result.residual)
+    assert alpha_equal(f_ty, result.ty)
+
+
+@settings(**SETTINGS)
+@given(freezeml_terms())
+def test_well_typed_terms_evaluate(pair):
+    """Type soundness, observationally: a well-typed term either returns
+    a value of the right Python representation or raises a *defined*
+    runtime error from a partial prelude function (``head []``) -- it is
+    never stuck (no Python-level TypeError etc.)."""
+    from repro.errors import EvaluationError
+
+    term, tag = pair
+    try:
+        value = eval_freezeml(term, value_prelude())
+    except EvaluationError:
+        return  # partiality, not unsoundness
+    if tag == "Int":
+        assert isinstance(value, int) and not isinstance(value, bool)
+    elif tag == "Bool":
+        assert isinstance(value, bool)
+    elif tag == "Int * Bool":
+        assert isinstance(value, tuple) and len(value) == 2
+    elif tag.startswith("List"):
+        assert isinstance(value, list)
+    else:
+        assert callable(value)
+
+
+@settings(**SETTINGS)
+@given(freezeml_terms())
+def test_direct_and_elaborated_evaluation_agree(pair):
+    term, tag = pair
+    if tag not in ("Int", "Bool", "Int * Bool"):
+        return  # only compare at observable ground types
+    from repro.errors import EvaluationError
+    from repro.semantics import eval_system_f
+
+    try:
+        direct = eval_freezeml(term, value_prelude())
+    except EvaluationError:
+        direct = EvaluationError
+    try:
+        via_f = eval_system_f(elaborate(term, PRELUDE).fterm, value_prelude())
+    except EvaluationError:
+        via_f = EvaluationError
+    assert direct == via_f or (direct is EvaluationError and via_f is EvaluationError)

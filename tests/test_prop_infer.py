@@ -1,0 +1,82 @@
+"""Property-based tests for type inference (Theorems 6 and 7) and for
+translation soundness on randomly generated well-typed terms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.check import is_instance_of, principal_type_of
+from repro.core.env import TypeEnv
+from repro.core.infer import infer_raw, infer_type
+from repro.core.kinds import Kind
+from repro.core.subst import Subst
+from repro.core.types import TVar, alpha_equal, ftv
+from repro.corpus.compare import equivalent_types
+from repro.systemf.typecheck import typecheck_f
+from repro.translate import elaborate
+from tests.helpers import PRELUDE
+from tests.strategies import ml_terms, monotypes
+
+EMPTY = TypeEnv()
+
+
+@settings(max_examples=150, deadline=None)
+@given(ml_terms())
+def test_generated_terms_infer(pair):
+    term, _tag = pair
+    ty = infer_type(term, EMPTY)
+    assert ty is not None
+
+
+@settings(max_examples=150, deadline=None)
+@given(ml_terms())
+def test_inference_deterministic(pair):
+    term, _tag = pair
+    first = infer_type(term, EMPTY, normalise=True)
+    second = infer_type(term, EMPTY, normalise=True)
+    assert alpha_equal(first, second)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ml_terms())
+def test_soundness_via_system_f(pair):
+    """Theorem 6 + Theorem 3: the elaborated System F image typechecks at
+    the inferred type (an independent, rule-by-rule check)."""
+    term, _tag = pair
+    result = elaborate(term, EMPTY)
+    f_type = typecheck_f(result.fterm, EMPTY, result.residual)
+    assert alpha_equal(f_type, result.ty)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ml_terms(), st.data())
+def test_principality(pair, data):
+    """Theorem 7: every mono instance of the principal type is typeable."""
+    term, _tag = pair
+    principal, kinds = principal_type_of(term, EMPTY)
+    free = [name for name in ftv(principal) if name in kinds]
+    if not free:
+        return
+    assignment = {
+        name: data.draw(monotypes(var_names=()), label=name) for name in free
+    }
+    instance = Subst(assignment)(principal)
+    from repro.core.check import typeable
+
+    assert typeable(term, instance, EMPTY)
+    assert is_instance_of(principal, instance, kinds)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ml_terms())
+def test_freeze_marks_are_type_erasable_on_ml_terms(pair):
+    """On the ML fragment, $-generalising a value and freezing it yields
+    the generalisation of the plain inferred type."""
+    from repro.core.terms import generalise, is_guarded_value
+    from repro.core.types import forall
+
+    term, _tag = pair
+    if not is_guarded_value(term):
+        return
+    plain = infer_type(term, EMPTY, normalise=False)
+    frozen = infer_type(generalise(term), EMPTY, normalise=False)
+    assert equivalent_types(frozen, forall(ftv(plain), plain))

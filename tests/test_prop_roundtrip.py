@@ -1,0 +1,69 @@
+"""Property-based round-trip tests for the parser and pretty-printer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.terms import alpha_equal_terms
+from repro.core.types import alpha_equal
+from repro.syntax.parser import parse_term, parse_type
+from repro.syntax.pretty import pretty_term, pretty_type
+from tests.strategies import ml_terms, polytypes
+
+
+@settings(max_examples=300)
+@given(polytypes())
+def test_type_roundtrip(ty):
+    printed = pretty_type(ty)
+    assert alpha_equal(parse_type(printed), ty), printed
+
+
+@settings(max_examples=200, deadline=None)
+@given(ml_terms())
+def test_term_roundtrip(pair):
+    term, _tag = pair
+    printed = pretty_term(term)
+    assert alpha_equal_terms(parse_term(printed), term), printed
+
+
+# A grammar of *FreezeML-specific* terms (freeze, $, @, annotations) to
+# exercise the printer beyond the ML fragment.
+_names = st.sampled_from(["id", "poly", "choose", "auto'"])
+_types = st.sampled_from(
+    ["Int", "forall a. a -> a", "List (forall a. a -> a)", "Int * Bool"]
+)
+
+
+@st.composite
+def freezeml_sources(draw, depth=2):
+    if depth == 0:
+        kind = draw(st.sampled_from(["var", "freeze", "lit"]))
+        if kind == "var":
+            return draw(_names)
+        if kind == "freeze":
+            return "~" + draw(_names)
+        return str(draw(st.integers(0, 9)))
+    kind = draw(
+        st.sampled_from(["app", "gen", "inst", "lam", "lamann", "let", "letann"])
+    )
+    sub = freezeml_sources(depth=depth - 1)
+    if kind == "app":
+        return f"{draw(sub)} ({draw(sub)})"
+    if kind == "gen":
+        return f"$({draw(sub)})"
+    if kind == "inst":
+        return f"({draw(sub)})@"
+    if kind == "lam":
+        return f"fun x -> {draw(sub)}"
+    if kind == "lamann":
+        return f"fun (x : {draw(_types)}) -> {draw(sub)}"
+    if kind == "let":
+        return f"let x = {draw(sub)} in {draw(sub)}"
+    return f"let (x : {draw(_types)}) = {draw(sub)} in {draw(sub)}"
+
+
+@settings(max_examples=300, deadline=None)
+@given(freezeml_sources())
+def test_freezeml_syntax_roundtrip(source):
+    term = parse_term(source)
+    printed = pretty_term(term)
+    assert alpha_equal_terms(parse_term(printed), term), (source, printed)

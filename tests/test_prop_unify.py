@@ -1,0 +1,121 @@
+"""Property-based tests for unification (Theorems 4 and 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kinds import Kind, KindEnv
+from repro.core.subst import Subst
+from repro.core.types import TVar, alpha_equal, ftv
+from repro.core.unify import unify
+from repro.errors import TypeInferenceError, UnificationError
+from tests.helpers import fixed
+from tests.strategies import monotypes, polytypes
+
+FLEX = ("x", "y", "z")
+RIGID = ("a", "b", "c")
+
+
+def flex_env(kind=Kind.POLY):
+    return KindEnv((n, kind) for n in FLEX)
+
+
+DELTA = fixed(*RIGID)
+
+
+@settings(max_examples=300)
+@given(monotypes(var_names=FLEX + RIGID), monotypes(var_names=FLEX + RIGID))
+def test_unify_sound(left, right):
+    """Theorem 4: a returned unifier really unifies."""
+    try:
+        _theta, subst = unify(DELTA, flex_env(), left, right)
+    except TypeInferenceError:
+        return
+    assert alpha_equal(subst(left), subst(right))
+
+
+@settings(max_examples=300)
+@given(monotypes(var_names=FLEX + RIGID), monotypes(var_names=FLEX + RIGID))
+def test_unifier_idempotent(left, right):
+    try:
+        _theta, subst = unify(DELTA, flex_env(), left, right)
+    except TypeInferenceError:
+        return
+    assert subst.is_idempotent()
+    for name in FLEX:
+        assert subst(subst(TVar(name))) == subst(TVar(name))
+
+
+@settings(max_examples=200)
+@given(
+    monotypes(var_names=FLEX),
+    st.fixed_dictionaries({n: monotypes(var_names=RIGID) for n in FLEX}),
+)
+def test_unify_complete_on_instances(pattern, assignment):
+    """Theorem 5 (completeness): if sigma(A) = B for some sigma, then
+    unify(A, B) succeeds and the unifier factors sigma."""
+    sigma = Subst(assignment)
+    ground = sigma(pattern)
+    theta_out, subst = unify(DELTA, flex_env(), pattern, ground)
+    # the unifier must agree with sigma on the pattern
+    assert alpha_equal(subst(pattern), ground) or _factors(
+        subst, sigma, pattern, theta_out
+    )
+
+
+def _factors(subst, sigma, pattern, theta_out):
+    # there must be sigma'' with sigma = sigma'' . subst on pattern vars
+    residual = Subst(
+        {name: sigma(TVar(name)) for name in theta_out.names()}
+    )
+    return alpha_equal(residual(subst(pattern)), sigma(pattern))
+
+
+@settings(max_examples=200)
+@given(polytypes(var_names=RIGID))
+def test_unify_reflexive(ty):
+    """Any well-formed type unifies with itself via the identity."""
+    try:
+        _theta, subst = unify(DELTA, flex_env(), ty, ty)
+    except TypeInferenceError:
+        return  # ill-kinded generation (unbound binder names) is skipped
+    for name in ftv(ty):
+        assert subst(TVar(name)) == TVar(name)
+
+
+@settings(max_examples=200)
+@given(polytypes(var_names=RIGID))
+def test_mono_variable_never_goes_poly(ty):
+    """A MONO flexible variable unifies with `ty` only if `ty` is a
+    monotype (the demotion discipline of Figure 15)."""
+    from repro.core.types import is_monotype
+
+    # the generator's binder alphabet (p, q, r) may leak as free rigid
+    # variables; give them kinds so every input is well-scoped
+    delta = fixed(*(RIGID + ("p", "q", "r")))
+    theta = KindEnv([("m", Kind.MONO)])
+    try:
+        _theta_out, subst = unify(delta, theta, TVar("m"), ty)
+    except TypeInferenceError:
+        assert not is_monotype(ty) or "m" in ftv(ty)
+        return
+    bound = subst(TVar("m"))
+    assert is_monotype(bound)
+
+
+@settings(max_examples=200)
+@given(monotypes(var_names=FLEX), monotypes(var_names=FLEX))
+def test_unify_symmetric_up_to_solutions(left, right):
+    """unify(A,B) and unify(B,A) succeed or fail together, and both
+    unifiers equate the two types."""
+    def attempt(l, r):
+        try:
+            return unify(DELTA, flex_env(), l, r)
+        except TypeInferenceError:
+            return None
+
+    forward = attempt(left, right)
+    backward = attempt(right, left)
+    assert (forward is None) == (backward is None)
+    if forward is not None:
+        assert alpha_equal(forward[1](left), forward[1](right))
+        assert alpha_equal(backward[1](left), backward[1](right))

@@ -1,0 +1,152 @@
+"""Evaluator tests: the runtime prelude behaves per Figure 2, and the
+three routes (direct FreezeML, via System F elaboration, via E[[-]])
+agree on observable results."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.semantics import eval_freezeml, eval_system_f, run, value_prelude
+from repro.semantics.values import STComp, show_value
+from repro.syntax.parser import parse_term
+from repro.translate import elaborate, f_to_freezeml
+from tests.helpers import PRELUDE
+
+
+class TestBasicEvaluation:
+    def test_literals(self):
+        assert run("42") == 42
+        assert run("true") is True
+
+    def test_arithmetic(self):
+        assert run("1 + 2 + 39") == 42
+
+    def test_lambda_application(self):
+        assert run("(fun x y -> x) 1 2") == 1
+
+    def test_let(self):
+        assert run("let x = 5 in x + x") == 10
+
+    def test_freeze_is_runtime_noop(self):
+        assert run("~inc 1") == run("inc 1") == 2
+
+    def test_generalisation_is_runtime_noop(self):
+        assert run("$(fun x -> x) 5") == 5
+
+    def test_instantiation_is_runtime_noop(self):
+        assert run("(head ids)@ 3") == 3
+
+    def test_unbound_variable(self):
+        with pytest.raises(EvaluationError):
+            run("ghost")
+
+    def test_apply_non_function(self):
+        with pytest.raises(EvaluationError):
+            run("1 2")
+
+
+class TestPrelude:
+    def test_lists(self):
+        assert run("[1, 2, 3]") == [1, 2, 3]
+        assert run("length [1, 2, 3]") == 3
+        assert run("head [7, 8]") == 7
+        assert run("tail [7, 8]") == [8]
+        assert run("single 5") == [5]
+        assert run("[1] ++ [2, 3]") == [1, 2, 3]
+        assert run("map inc [1, 2]") == [2, 3]
+
+    def test_empty_list_errors(self):
+        with pytest.raises(EvaluationError):
+            run("head []")
+        with pytest.raises(EvaluationError):
+            run("tail []")
+
+    def test_pairs(self):
+        assert run("(1, true)") == (1, True)
+        assert run("fst (1, true)") == 1
+        assert run("snd (1, true)") is True
+
+    def test_choose_picks_first(self):
+        assert run("choose 1 2") == 1
+
+    def test_poly(self):
+        assert run("poly ~id") == (42, True)
+
+    def test_app_revapp(self):
+        assert run("app inc 1") == 2
+        assert run("revapp 1 inc") == 2
+
+    def test_auto(self):
+        assert run("auto ~id 9") == 9
+
+    def test_st_simulation(self):
+        assert run("runST ~argST") == 1
+        assert run("app runST ~argST") == 1
+        assert run("revapp ~argST runST") == 1
+
+    def test_prelude_isolated_between_calls(self):
+        env1 = value_prelude()
+        env2 = value_prelude()
+        assert env1 is not env2
+        assert env1["ids"] == env2["ids"]
+
+
+class TestCorpusPrograms:
+    CASES = [
+        ("poly $(fun x -> x)", (42, True)),
+        ("map poly (single ~id)", [(42, True)]),
+        ("(single inc ++ single id)", None),  # list of functions; just runs
+        ("k $(fun x -> (h x)@) l", None),
+        ("let f = revapp ~id in f poly", (42, True)),
+        ("choose [] ids", []),
+        ("length (tail ids)", 0),
+    ]
+
+    @pytest.mark.parametrize("src,expected", CASES)
+    def test_runs(self, src, expected):
+        env = value_prelude()
+        env["k"] = lambda x: lambda xs: x
+        env["h"] = lambda n: lambda x: x
+        env["l"] = []
+        value = eval_freezeml(parse_term(src), env)
+        if expected is not None:
+            assert value == expected
+
+
+class TestAgreementAcrossRoutes:
+    """Direct evaluation agrees with evaluation after elaboration."""
+
+    SOURCES = [
+        "poly ~id",
+        "(head ids)@ 3",
+        "let f = revapp ~id in f poly",
+        "poly $(fun x -> x)",
+        "1 + 2",
+        "(auto ~id)@ 5",
+        "runST ~argST",
+    ]
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_direct_vs_elaborated(self, src):
+        term = parse_term(src)
+        direct = eval_freezeml(term)
+        elaborated = elaborate(term, PRELUDE)
+        via_f = eval_system_f(elaborated.fterm)
+        assert direct == via_f, src
+
+    def test_f_to_freezeml_preserves_behaviour(self):
+        from repro.systemf.syntax import FApp, FVar
+
+        fterm = FApp(FVar("poly"), FVar("id"))
+        direct = eval_system_f(fterm)
+        translated = f_to_freezeml(fterm, PRELUDE)
+        assert eval_freezeml(translated) == direct == (42, True)
+
+
+class TestShowValue:
+    def test_rendering(self):
+        assert show_value(42) == "42"
+        assert show_value(True) == "true"
+        assert show_value([1, 2]) == "[1, 2]"
+        assert show_value((1, False)) == "(1, false)"
+        assert show_value(lambda x: x) == "<function>"
+        assert show_value(STComp(lambda s: 1)) == "<ST computation>"

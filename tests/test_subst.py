@@ -1,0 +1,92 @@
+"""Unit tests for substitutions/instantiations (Figures 5, 6, 13, 14)."""
+
+from repro.core.subst import Subst, instantiation_from
+from repro.core.types import TForall, TVar, alpha_equal, arrow, ftv
+from tests.helpers import t
+
+
+class TestApply:
+    def test_identity_outside_domain(self):
+        s = Subst.singleton("a", t("Int"))
+        assert s(t("b -> b")) == t("b -> b")
+
+    def test_basic(self):
+        s = Subst.singleton("a", t("Int -> Int"))
+        assert s(t("a -> a")) == t("(Int -> Int) -> Int -> Int")
+
+    def test_shadowed_binder_not_substituted(self):
+        s = Subst.singleton("a", t("Int"))
+        assert s(t("forall a. a -> a")) == t("forall a. a -> a")
+
+    def test_capture_avoidance(self):
+        # [b |-> a] applied under forall a must rename the binder (Fig. 6)
+        s = Subst.singleton("b", TVar("a"))
+        result = s(t("forall a. a -> b"))
+        assert alpha_equal(result, TForall("c", arrow(TVar("c"), TVar("a"))))
+        assert "a" in ftv(result)
+
+    def test_deep_capture(self):
+        from repro.core.types import split_foralls
+
+        s = Subst({"x": t("a -> a")})
+        result = s(t("forall a. a -> x"))
+        names, _body = split_foralls(result)
+        assert names[0] != "a"
+        assert ftv(result) == ("a",)
+
+
+class TestCompose:
+    def test_composition_law(self):
+        inner = Subst.singleton("a", TVar("b"))
+        outer = Subst.singleton("b", t("Int"))
+        composed = outer.compose(inner)
+        for src in ["a", "b", "a -> b", "List a", "forall c. c -> a"]:
+            ty = t(src)
+            assert composed(ty) == outer(inner(ty)), src
+
+    def test_outer_bindings_kept(self):
+        inner = Subst.singleton("a", t("Int"))
+        outer = Subst.singleton("b", t("Bool"))
+        composed = outer.compose(inner)
+        assert composed(TVar("a")) == t("Int")
+        assert composed(TVar("b")) == t("Bool")
+
+    def test_idempotent_after_compose(self):
+        s1 = Subst.singleton("a", TVar("b"))
+        s2 = Subst.singleton("b", t("Int"))
+        composed = s2.compose(s1)
+        assert composed.is_idempotent()
+        assert composed(TVar("a")) == t("Int")
+
+
+class TestQueries:
+    def test_ftv_over_includes_identity_images(self):
+        # Appendix G: ftv(theta) ranges over *all* domain-env variables,
+        # including those mapped to themselves.
+        s = Subst.singleton("a", t("List b"))
+        assert s.ftv_over(["a", "c"]) == ("b", "c")
+
+    def test_range_ftv(self):
+        s = Subst({"a": t("b -> c"), "d": t("Int")})
+        assert s.range_ftv() == frozenset({"b", "c"})
+
+    def test_remove_restrict(self):
+        s = Subst({"a": t("Int"), "b": t("Bool")})
+        assert s.remove(["a"]).domain() == frozenset({"b"})
+        assert s.restrict(["a"]).domain() == frozenset({"a"})
+
+    def test_equality_extensional(self):
+        assert Subst({"a": TVar("a")}) == Subst.identity()
+        assert Subst({"a": t("Int")}) != Subst.identity()
+
+
+class TestInstantiation:
+    def test_pointwise(self):
+        inst = instantiation_from(["a", "b"], [t("Int"), t("Bool")])
+        assert inst(t("a -> b")) == t("Int -> Bool")
+
+    def test_arity_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            instantiation_from(["a"], [t("Int"), t("Bool")])

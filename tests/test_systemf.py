@@ -1,0 +1,112 @@
+"""System F typechecker and syntax tests (Appendix B.1, Figure 18)."""
+
+import pytest
+
+from repro.core.env import TypeEnv
+from repro.core.kinds import KindEnv
+from repro.core.types import INT, TVar, alpha_equal, arrow, forall
+from repro.errors import SystemFTypeError
+from repro.systemf.syntax import (
+    FApp,
+    FBoolLit,
+    FIntLit,
+    FLam,
+    FTyAbs,
+    FTyApp,
+    FVar,
+    flet,
+    ftyabs,
+    ftyapps,
+    is_f_value,
+    map_types,
+    match_flet,
+)
+from repro.systemf.typecheck import typecheck_f, typechecks_f
+from tests.helpers import t
+
+POLY_ID = FTyAbs("a", FLam("x", TVar("a"), FVar("x")))
+
+
+class TestTypechecking:
+    def test_identity(self):
+        assert alpha_equal(typecheck_f(POLY_ID), t("forall a. a -> a"))
+
+    def test_type_application_substitutes(self):
+        term = FTyApp(POLY_ID, INT)
+        assert typecheck_f(term) == t("Int -> Int")
+
+    def test_application(self):
+        term = FApp(FTyApp(POLY_ID, INT), FIntLit(3))
+        assert typecheck_f(term) == INT
+
+    def test_argument_mismatch(self):
+        term = FApp(FTyApp(POLY_ID, INT), FBoolLit(True))
+        with pytest.raises(SystemFTypeError):
+            typecheck_f(term)
+
+    def test_apply_non_function(self):
+        with pytest.raises(SystemFTypeError):
+            typecheck_f(FApp(FIntLit(1), FIntLit(2)))
+
+    def test_type_apply_non_forall(self):
+        with pytest.raises(SystemFTypeError):
+            typecheck_f(FTyApp(FIntLit(1), INT))
+
+    def test_unbound_variable(self):
+        with pytest.raises(SystemFTypeError):
+            typecheck_f(FVar("ghost"))
+
+    def test_environment(self):
+        env = TypeEnv([("n", INT)])
+        assert typecheck_f(FVar("n"), env) == INT
+
+    def test_ill_kinded_annotation(self):
+        term = FLam("x", TVar("nowhere"), FVar("x"))
+        with pytest.raises(SystemFTypeError):
+            typecheck_f(term)
+
+    def test_kind_env_for_free_tyvars(self):
+        from repro.core.kinds import Kind
+
+        term = FLam("x", TVar("a"), FVar("x"))
+        delta = KindEnv.empty().extend("a", Kind.MONO)
+        assert typecheck_f(term, delta=delta) == arrow(TVar("a"), TVar("a"))
+
+
+class TestValueRestriction:
+    def test_tyabs_over_value_ok(self):
+        assert typechecks_f(POLY_ID)
+
+    def test_tyabs_over_application_rejected(self):
+        term = FTyAbs("a", FApp(FTyApp(POLY_ID, arrow(TVar("a"), TVar("a"))), FLam("y", TVar("a"), FVar("y"))))
+        with pytest.raises(SystemFTypeError):
+            typecheck_f(term)
+
+    def test_instantiation_chain_is_value(self):
+        assert is_f_value(FTyApp(FVar("x"), INT))
+        assert not is_f_value(FApp(FVar("x"), FVar("y")))
+
+
+class TestSugarAndTraversal:
+    def test_flet_roundtrip(self):
+        term = flet("x", INT, FIntLit(1), FVar("x"))
+        assert match_flet(term) == ("x", INT, FIntLit(1), FVar("x"))
+        assert typecheck_f(term) == INT
+
+    def test_ftyabs_ftyapps(self):
+        term = ftyabs(["a", "b"], FLam("x", TVar("a"), FLam("y", TVar("b"), FVar("x"))))
+        ty = typecheck_f(term)
+        assert alpha_equal(ty, t("forall a b. a -> b -> a"))
+        inst = ftyapps(term, [INT, t("Bool")])
+        assert typecheck_f(inst) == t("Int -> Bool -> Int")
+
+    def test_map_types(self):
+        from repro.core.subst import Subst
+
+        term = FLam("x", TVar("z"), FVar("x"))
+        zonked = map_types(term, Subst.singleton("z", INT).apply)
+        assert zonked == FLam("x", INT, FVar("x"))
+
+    def test_formatting(self):
+        assert "let" in str(flet("x", INT, FIntLit(1), FVar("x")))
+        assert "/\\a." in str(POLY_ID)

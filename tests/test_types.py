@@ -1,0 +1,173 @@
+"""Unit tests for the type AST (paper Figure 3 notions)."""
+
+import pytest
+
+from repro.core.types import (
+    BOOL,
+    INT,
+    TCon,
+    TForall,
+    TVar,
+    alpha_equal,
+    arrow,
+    arrows,
+    forall,
+    ftv,
+    ftv_set,
+    is_guarded,
+    is_monotype,
+    list_of,
+    occurs,
+    product,
+    rename,
+    split_foralls,
+    subtypes,
+    type_size,
+)
+from tests.helpers import t
+
+
+class TestConstruction:
+    def test_arrow_nests_right(self):
+        assert arrows(INT, BOOL, INT) == arrow(INT, arrow(BOOL, INT))
+
+    def test_forall_many(self):
+        ty = forall(["a", "b"], arrow(TVar("a"), TVar("b")))
+        assert ty == TForall("a", TForall("b", arrow(TVar("a"), TVar("b"))))
+
+    def test_forall_empty_is_identity(self):
+        assert forall([], INT) == INT
+
+    def test_constructor_arity_enforced(self):
+        with pytest.raises(ValueError):
+            TCon("List", (INT, BOOL))
+        with pytest.raises(ValueError):
+            TCon("Int", (INT,))
+
+
+class TestFtv:
+    def test_first_occurrence_order(self):
+        # Section 3: ftv((a -> b) -> (a -> c)) = a, b, c
+        ty = t("(a -> b) -> (a -> c)")
+        assert ftv(ty) == ("a", "b", "c")
+
+    def test_bound_variables_excluded(self):
+        assert ftv(t("forall a. a -> b")) == ("b",)
+
+    def test_shadowing(self):
+        ty = TForall("a", arrow(TVar("a"), TVar("a")))
+        assert ftv(ty) == ()
+
+    def test_inner_binder_does_not_hide_outer_free(self):
+        # a free, then forall a. a bound
+        ty = arrow(TVar("a"), TForall("a", TVar("a")))
+        assert ftv(ty) == ("a",)
+
+    def test_ftv_set(self):
+        assert ftv_set(t("a -> b -> a")) == frozenset({"a", "b"})
+
+
+class TestPredicates:
+    def test_monotype(self):
+        assert is_monotype(t("Int -> a * List b"))
+        assert not is_monotype(t("forall a. a"))
+        assert not is_monotype(t("List (forall a. a)"))
+
+    def test_guarded(self):
+        assert is_guarded(t("a"))
+        assert is_guarded(t("List (forall a. a -> a)"))
+        assert not is_guarded(t("forall a. a -> a"))
+
+    def test_occurs(self):
+        assert occurs("a", t("List (b -> a)"))
+        assert not occurs("a", t("forall a. a"))
+
+
+class TestSplitForalls:
+    def test_basic(self):
+        names, body = split_foralls(t("forall a b. a -> b"))
+        assert names == ("a", "b")
+        assert body == arrow(TVar("a"), TVar("b"))
+
+    def test_not_quantified(self):
+        names, body = split_foralls(INT)
+        assert names == () and body == INT
+
+    def test_stops_at_guard(self):
+        names, body = split_foralls(t("forall a. a -> forall b. b"))
+        assert names == ("a",)
+        assert body == arrow(TVar("a"), TForall("b", TVar("b")))
+
+    def test_duplicate_binders_freshened(self):
+        ty = TForall("a", TForall("a", TVar("a")))
+        names, body = split_foralls(ty)
+        assert len(set(names)) == 2
+        assert body == TVar(names[1])
+
+
+class TestAlphaEqual:
+    def test_renaming(self):
+        assert alpha_equal(t("forall a. a -> a"), t("forall b. b -> b"))
+
+    def test_quantifier_order_significant(self):
+        # System F: forall a b. a -> b  /=  forall b a. a -> b
+        left = forall(["a", "b"], arrow(TVar("a"), TVar("b")))
+        right = forall(["b", "a"], arrow(TVar("a"), TVar("b")))
+        assert not alpha_equal(left, right)
+
+    def test_free_variables_by_name(self):
+        assert alpha_equal(TVar("a"), TVar("a"))
+        assert not alpha_equal(TVar("a"), TVar("b"))
+
+    def test_bound_vs_free(self):
+        assert not alpha_equal(t("forall a. a -> b"), t("forall a. a -> a"))
+
+    def test_nested(self):
+        assert alpha_equal(
+            t("forall a. a -> forall b. b -> a"),
+            t("forall x. x -> forall y. y -> x"),
+        )
+
+    def test_structural_mismatch(self):
+        assert not alpha_equal(t("Int"), t("Bool"))
+        assert not alpha_equal(t("List Int"), t("Int"))
+        assert not alpha_equal(t("forall a. a"), t("Int"))
+
+
+class TestRename:
+    def test_free_rename(self):
+        assert rename(t("a -> b"), {"a": "c"}) == t("c -> b")
+
+    def test_bound_not_renamed(self):
+        assert rename(t("forall a. a -> b"), {"a": "c"}) == t("forall a. a -> b")
+
+    def test_capture_avoided(self):
+        # renaming b -> a under forall a must not capture
+        result = rename(t("forall a. a -> b"), {"b": "a"})
+        names, body = split_foralls(result)
+        assert names[0] != "a"
+        assert alpha_equal(result, TForall("z", arrow(TVar("z"), TVar("a"))))
+
+
+class TestMisc:
+    def test_type_size(self):
+        assert type_size(INT) == 1
+        assert type_size(t("forall a. a -> a")) == 4
+
+    def test_subtypes_preorder(self):
+        ty = t("List Int -> Bool")
+        subs = list(subtypes(ty))
+        assert subs[0] == ty
+        assert t("List Int") in subs and INT in subs and BOOL in subs
+
+    def test_str_parses_back(self):
+        for src in [
+            "forall a. a -> a",
+            "(forall a. a -> a) -> Int * Bool",
+            "List (forall a. a -> a)",
+            "forall a b. (a -> b) -> List a -> List b",
+            "forall s. ST s Int",
+            "Int * Bool -> Bool * Int",
+        ]:
+            ty = t(src)
+            assert alpha_equal(t(str(ty)), ty), src

@@ -1,0 +1,156 @@
+"""Unit tests for the unification algorithm (Figure 15)."""
+
+import pytest
+
+from repro.core.kinds import Kind, KindEnv
+from repro.core.subst import Subst
+from repro.core.types import TVar, alpha_equal
+from repro.core.unify import demote, unify
+from repro.errors import (
+    MonomorphismError,
+    OccursCheckError,
+    SkolemEscapeError,
+    UnificationError,
+)
+from tests.helpers import fixed, flexible, t
+
+EMPTY = KindEnv.empty()
+
+
+def u(theta, left, right, delta=EMPTY):
+    return unify(delta, theta, t(left), t(right))
+
+
+class TestVariables:
+    def test_same_rigid_variable(self):
+        theta_out, subst = u(EMPTY, "a", "a", delta=fixed("a"))
+        assert subst.is_identity()
+
+    def test_same_flexible_variable(self):
+        theta_out, subst = u(flexible(a="poly"), "a", "a")
+        assert subst.is_identity()
+        assert "a" in theta_out
+
+    def test_rigid_mismatch(self):
+        with pytest.raises(UnificationError):
+            u(EMPTY, "a", "b", delta=fixed("a", "b"))
+
+    def test_flexible_binds_left_and_right(self):
+        for left, right in [("a", "Int"), ("Int", "a")]:
+            theta_out, subst = u(flexible(a="poly"), left, right)
+            assert subst(TVar("a")) == t("Int")
+            assert "a" not in theta_out
+
+    def test_flexible_binds_polymorphic_type(self):
+        theta_out, subst = u(flexible(a="poly"), "a", "forall b. b -> b")
+        assert alpha_equal(subst(TVar("a")), t("forall b. b -> b"))
+
+    def test_mono_flexible_rejects_polymorphic_type(self):
+        with pytest.raises(MonomorphismError):
+            u(flexible(a="mono"), "a", "forall b. b -> b")
+
+    def test_occurs_check(self):
+        with pytest.raises(OccursCheckError):
+            u(flexible(a="poly"), "a", "List a")
+
+    def test_rigid_vs_flexible(self):
+        theta_out, subst = u(flexible(x="mono"), "x", "a", delta=fixed("a"))
+        assert subst(TVar("x")) == TVar("a")
+
+
+class TestDemotion:
+    def test_demote_only_for_mono(self):
+        theta = flexible(a="poly", b="poly")
+        assert demote(Kind.POLY, theta, ["a"]) == theta
+        demoted = demote(Kind.MONO, theta, ["a"])
+        assert demoted.kind_of("a") is Kind.MONO
+        assert demoted.kind_of("b") is Kind.POLY
+
+    def test_binding_mono_var_demotes_type_vars(self):
+        # unifying a:mono with (b -> c) demotes b and c to mono
+        theta = flexible(a="mono", b="poly", c="poly")
+        theta_out, subst = u(theta, "a", "b -> c")
+        assert theta_out.kind_of("b") is Kind.MONO
+        assert theta_out.kind_of("c") is Kind.MONO
+
+    def test_demoted_var_cannot_become_polymorphic_later(self):
+        theta = flexible(a="mono", b="poly")
+        theta1, s1 = u(theta, "a", "List b")
+        with pytest.raises(MonomorphismError):
+            unify(EMPTY, theta1, s1(t("b")), t("forall c. c"))
+
+
+class TestConstructors:
+    def test_pointwise(self):
+        theta_out, subst = u(flexible(a="poly", b="poly"), "a -> b", "Int -> Bool")
+        assert subst(t("a -> b")) == t("Int -> Bool")
+
+    def test_threading_between_arguments(self):
+        theta_out, subst = u(flexible(a="poly", b="poly"), "a -> a", "b -> Int")
+        assert subst(TVar("a")) == t("Int")
+        assert subst(TVar("b")) == t("Int")
+
+    def test_constructor_clash(self):
+        with pytest.raises(UnificationError):
+            u(EMPTY, "Int", "Bool")
+        with pytest.raises(UnificationError):
+            u(flexible(a="poly"), "List a", "Int -> Int")
+
+    def test_deep(self):
+        theta_out, subst = u(
+            flexible(a="poly"), "List (List a)", "List (List (Int * Bool))"
+        )
+        assert subst(TVar("a")) == t("Int * Bool")
+
+
+class TestQuantifiers:
+    def test_alpha_equivalent_foralls(self):
+        _theta, subst = u(EMPTY, "forall a. a -> a", "forall b. b -> b")
+        assert subst.is_identity()
+
+    def test_forall_bodies_unify(self):
+        theta_out, subst = u(
+            flexible(x="poly"), "forall a. a -> x", "forall b. b -> Int"
+        )
+        assert subst(TVar("x")) == t("Int")
+
+    def test_skolem_escape_rejected(self):
+        # forall a. a -> a  vs  forall b. b -> x  would need x := skolem
+        with pytest.raises(SkolemEscapeError):
+            u(flexible(x="poly"), "forall a. a -> a", "forall b. b -> x")
+
+    def test_quantifier_order_matters(self):
+        with pytest.raises(UnificationError):
+            u(
+                EMPTY,
+                "forall a b. a -> b -> a * b",
+                "forall b a. a -> b -> a * b",
+            )
+
+    def test_forall_vs_arrow_fails(self):
+        with pytest.raises(UnificationError):
+            u(flexible(b="poly"), "forall a. a -> a", "b -> Int")
+
+    def test_nested_quantifiers(self):
+        _theta, subst = u(
+            EMPTY,
+            "forall a. a -> forall b. b -> b",
+            "forall x. x -> forall y. y -> y",
+        )
+        assert subst.is_identity()
+
+
+class TestSoundness:
+    """Theorem 4: a returned unifier really unifies."""
+
+    CASES = [
+        (flexible(a="poly", b="poly"), "a -> Int", "Bool -> b"),
+        (flexible(a="poly"), "List a", "List (forall c. c -> c)"),
+        (flexible(a="mono", b="mono"), "a * a", "b * Int"),
+        (flexible(x="poly"), "forall a. a -> x", "forall b. b -> List Int"),
+    ]
+
+    @pytest.mark.parametrize("theta,left,right", CASES)
+    def test_unifier_unifies(self, theta, left, right):
+        _theta_out, subst = u(theta, left, right)
+        assert alpha_equal(subst(t(left)), subst(t(right)))
