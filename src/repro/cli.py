@@ -13,6 +13,16 @@ Commands::
     :help, :quit
 
 The REPL starts with the paper's Figure 2 prelude in scope.
+
+Subcommands::
+
+    python -m repro bench [--quick] [--all] [--output=FILE]
+
+runs the pytest-benchmark perf suites (solver, unification, scaling)
+and writes ``BENCH_solver.json`` -- the perf trajectory baseline that
+future PRs compare against.  ``--quick`` runs each benchmark once with
+timing disabled (the CI smoke mode); ``--all`` includes every benchmark
+module, not just the perf-critical three.
 """
 
 from __future__ import annotations
@@ -140,9 +150,94 @@ class Repl:
         self.emit(f"  instantiation strategy: {self.strategy}")
 
 
+BENCH_DEFAULT_SUITES = (
+    "benchmarks/bench_solver.py",
+    "benchmarks/bench_unification.py",
+    "benchmarks/bench_scaling.py",
+)
+
+
+def build_bench_command(
+    argv: list[str], python: str = sys.executable
+) -> tuple[list[str], str]:
+    """The pytest invocation for ``python -m repro bench`` (pure: tested).
+
+    Returns ``(command, output_path)``; ``output_path`` is empty in quick
+    mode (no JSON is written).
+    """
+    quick = "--quick" in argv
+    output = "BENCH_solver.json"
+    for arg in argv:
+        if arg.startswith("--output="):
+            output = arg.split("=", 1)[1]
+    if "--all" in argv:
+        # bench_*.py does not match pytest's default test_*.py pattern;
+        # explicit paths are always collected, a bare directory is not,
+        # so widen the pattern for the whole-directory run.
+        suites = ["-o", "python_files=bench_*.py", "benchmarks"]
+    else:
+        suites = list(BENCH_DEFAULT_SUITES)
+    cmd = [python, "-m", "pytest", "-q", *suites]
+    if quick:
+        cmd.append("--benchmark-disable")
+        return cmd, ""
+    cmd.append(f"--benchmark-json={output}")
+    return cmd, output
+
+
+def run_bench(argv: list[str]) -> int:
+    """Run the benchmark suites from the repository root."""
+    import os
+    import subprocess
+    from pathlib import Path
+
+    unknown = [
+        a
+        for a in argv
+        if a not in ("--quick", "--all") and not a.startswith("--output=")
+    ]
+    if unknown:
+        print(f"error: unknown bench option(s): {' '.join(unknown)}")
+        print("usage: python -m repro bench [--quick] [--all] [--output=FILE]")
+        return 2
+    # The pytest subprocess runs from the repo root; anchor user-given
+    # relative output paths to the caller's cwd so the file lands (and
+    # the success message reads) where they expect.
+    argv = [
+        f"--output={os.path.abspath(a.split('=', 1)[1])}"
+        if a.startswith("--output=")
+        else a
+        for a in argv
+    ]
+    if "--quick" in argv and any(a.startswith("--output=") for a in argv):
+        print("note: --quick runs with timing disabled and writes no JSON; "
+              "--output is ignored")
+    root = Path(__file__).resolve().parents[2]
+    if not (root / "benchmarks").is_dir():
+        print("error: benchmarks/ not found (run from a source checkout)")
+        return 1
+    cmd, output = build_bench_command(argv)
+    env = dict(os.environ)
+    src = str(root / "src")
+    extra = f"{src}{os.pathsep}{root}"
+    env["PYTHONPATH"] = (
+        f"{extra}{os.pathsep}{env['PYTHONPATH']}" if env.get("PYTHONPATH") else extra
+    )
+    code = subprocess.call(cmd, cwd=root, env=env)
+    if code == 0 and output:
+        # The subprocess runs from the repo root; print where the file
+        # actually landed.
+        resolved = output if os.path.isabs(output) else str(root / output)
+        print(f"benchmark results written to {resolved}")
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: interactive loop, or `-c "term"` one-shot mode."""
+    """Entry point: interactive loop, `-c "term"` one-shot mode, or the
+    ``bench`` subcommand."""
     argv = sys.argv[1:] if argv is None else argv
+    if argv[:1] == ["bench"]:
+        return run_bench(argv[1:])
     repl = Repl()
     if argv[:1] == ["-c"]:
         for chunk in argv[1:]:

@@ -24,9 +24,39 @@ class TypeEnv:
         return _EMPTY
 
     def extend(self, name: str, ty: Type) -> "TypeEnv":
-        env = TypeEnv()
-        env._map = {**self._map, name: ty}
+        env = TypeEnv.__new__(TypeEnv)
+        new_map = self._map.copy()
+        new_map[name] = ty
+        env._map = new_map
         return env
+
+    # -- scoped mutation (inference-internal) -------------------------------
+    #
+    # The inferencer walks the term tree with strictly scoped extensions:
+    # ``Gamma, x : A`` is only ever consulted inside the recursive call.
+    # Copy-on-extend made that O(|Gamma|) per binder (quadratic over a
+    # program); push/pop below is O(1).  Callers MUST work on a private
+    # :meth:`copy_for_mutation` and restore via _pop (in a ``finally``)
+    # before the environment escapes.
+
+    def copy_for_mutation(self) -> "TypeEnv":
+        """A private copy safe to mutate via :meth:`_push`/:meth:`_pop`."""
+        env = TypeEnv.__new__(TypeEnv)
+        env._map = dict(self._map)
+        return env
+
+    def _push(self, name: str, ty: Type):
+        """Temporarily bind ``name``; returns the token for :meth:`_pop`."""
+        prev = self._map.get(name, _MISSING)
+        self._map[name] = ty
+        return prev
+
+    def _pop(self, name: str, prev) -> None:
+        """Undo a :meth:`_push` with its returned token."""
+        if prev is _MISSING:
+            del self._map[name]
+        else:
+            self._map[name] = prev
 
     def lookup(self, name: str) -> Type:
         try:
@@ -67,3 +97,4 @@ class TypeEnv:
 
 
 _EMPTY = TypeEnv()
+_MISSING = object()

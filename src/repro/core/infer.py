@@ -4,12 +4,25 @@
 ``Delta |- theta : Theta => Theta'`` and ``Delta, Theta'; theta(Gamma) |-
 M : A`` (Theorem 6); the result is complete and principal (Theorem 7).
 
+Unlike the paper-literal transcription (preserved in
+:mod:`repro.core.reference`), the inferencer does not thread immutable
+substitutions: it drives one mutable :class:`~repro.core.solver.SolverState`
+through the whole run.  Unification binds flexible variables in place,
+environments and intermediate types are allowed to mention solved
+variables, and the solved forms are recovered by *zonking* exactly where
+structure matters: at generalisation points, at ``Var`` instantiation,
+and at the public boundary, where the classic ``(Theta', theta, A)``
+triple is synthesised from the store so all paper-shaped consumers
+(``check``, ``derivation``, the elaborators, the tests) are unaffected.
+
 The inferencer also drives the type-directed elaboration ``C[[-]]`` into
 System F (Figure 11).  Because that translation is defined on typing
 derivations, it is threaded through inference as a pluggable
 :class:`Elaborator`; the default hook builds nothing.  The System F
 building hook lives in :mod:`repro.translate.freezeml_to_f` to keep this
-module free of System F imports.
+module free of System F imports.  Payload types are emitted *un-zonked*;
+consumers apply ``result.subst`` once at the end (``derive``,
+``elaborate``), which resolves every embedded type in a single pass.
 
 Options (used by the paper's design discussions and our ablations):
 
@@ -26,6 +39,7 @@ from typing import Any
 
 from .env import TypeEnv
 from .kinds import Kind, KindEnv
+from .solver import SolverState
 from .subst import Subst, instantiation_from
 from .terms import (
     App,
@@ -42,18 +56,22 @@ from .terms import (
     is_guarded_value,
 )
 from .types import (
+    ARROW,
     BOOL,
     INT,
     STRING,
+    TCon,
     TForall,
     TVar,
     Type,
     arrow,
     forall,
     ftv,
+    ftv_set,
     split_foralls,
+    tcon_unchecked,
+    tvar_unchecked,
 )
-from .unify import demote, unify
 from .wellformed import env_well_formed, split_annotation, well_scoped
 from ..errors import SkolemEscapeError
 from ..names import NameSupply, display_names, is_flexible_name
@@ -66,10 +84,12 @@ class Elaborator:
     """Hook interface invoked by the inferencer, one method per rule.
 
     The default implementation produces ``None`` everywhere; the System F
-    elaborator overrides each method.  ``zonk(payload, subst)`` must apply
-    a substitution to every type embedded in a payload -- the inferencer
-    calls it whenever it discharges a local flexible variable whose
-    binding would otherwise be lost (lambda parameters).
+    elaborator overrides each method.  Types handed to the hooks may
+    mention solved flexible variables; apply the run's final substitution
+    (``InferenceResult.subst``) to the finished payload to resolve them.
+    ``zonk(payload, subst)`` is the hook for doing so; the solver-backed
+    inferencer no longer calls it mid-run, but boundary consumers (and
+    compatibility users of the old protocol) still do.
     """
 
     def frozen_var(self, name: str, ty: Type) -> Any:
@@ -107,23 +127,54 @@ class Elaborator:
 
 
 class InferenceResult:
-    """The outcome of a top-level inference run."""
+    """The outcome of a top-level inference run.
 
-    __slots__ = ("theta_env", "subst", "ty", "payload", "supply")
+    ``theta_env`` and ``subst`` are synthesised lazily from the solver
+    store on first access: most callers (``infer_type``, ``typecheck``)
+    only need ``ty``, and materialising the eager substitution for them
+    would undo part of the solver's win.
+    """
 
-    def __init__(self, theta_env, subst, ty, payload, supply):
-        self.theta_env = theta_env
-        self.subst = subst
+    __slots__ = ("_solver", "_theta_env", "_subst", "ty", "payload", "supply")
+
+    def __init__(self, solver: SolverState, ty: Type, payload: Any, supply):
+        self._solver = solver
+        self._theta_env: KindEnv | None = None
+        self._subst: Subst | None = None
         self.ty = ty
         self.payload = payload
         self.supply = supply
+
+    @property
+    def theta_env(self) -> KindEnv:
+        if self._theta_env is None:
+            self._theta_env = self._solver.kind_env()
+        return self._theta_env
+
+    @property
+    def subst(self) -> Subst:
+        if self._subst is None:
+            self._subst = self._solver.as_subst()
+        return self._subst
+
+    @property
+    def solver(self) -> SolverState:
+        """The run's solver state (binding store + residual kinds)."""
+        return self._solver
 
     def __repr__(self):  # pragma: no cover
         return f"InferenceResult({self.ty})"
 
 
 class Inferencer:
-    """A single inference run; holds options and the fresh-name supply."""
+    """A single inference run; holds options, the solver state and the
+    fresh-name supply.
+
+    Subclasses extend the algorithm by overriding :meth:`infer_node`
+    (the recursive worker on ``(Delta, Gamma, M)``); the classic
+    four-argument :meth:`infer` remains as the paper-shaped entry point
+    that seeds the solver with ``Theta`` and reads the results back out.
+    """
 
     def __init__(
         self,
@@ -139,6 +190,10 @@ class Inferencer:
         self.strategy = strategy
         self.elaborator = elaborator or Elaborator()
         self.supply = supply or NameSupply()
+        self.solver = SolverState()
+        # With the default (all-no-op) elaborator the hook calls can be
+        # skipped entirely -- measurable on large synthetic programs.
+        self._no_elab = type(self.elaborator) is Elaborator
 
     # -- helpers -------------------------------------------------------------
 
@@ -154,171 +209,217 @@ class Inferencer:
             return split_foralls(ann)
         return split_annotation(ann, bound)
 
-    # -- the algorithm (Figure 16) --------------------------------------------
+    # -- the paper-shaped entry point ----------------------------------------
 
     def infer(
         self, delta: KindEnv, theta: KindEnv, gamma: TypeEnv, term: Term
     ) -> tuple[KindEnv, Subst, Type, Any]:
-        elab = self.elaborator
+        """Figure 16's ``infer(Delta, Theta, Gamma, M) = (Theta', theta, A)``.
 
-        if isinstance(term, FrozenVar):
-            ty = gamma.lookup(term.name)
-            return theta, Subst.identity(), ty, elab.frozen_var(term.name, ty)
+        Backward-compatible boundary: seeds a *fresh* solver with
+        ``theta`` (repeated calls on one instance stay independent, as
+        in the paper protocol), runs :meth:`infer_node`, and synthesises
+        the refined environment and eager substitution views from the
+        store.
+        """
+        self.solver = SolverState(theta)
+        # Work on a private copy: infer_node extends the environment by
+        # push/pop mutation, which must never escape to the caller.
+        ty, payload = self.infer_node(delta, gamma.copy_for_mutation(), term)
+        return (
+            self.solver.kind_env(),
+            self.solver.as_subst(),
+            self.solver.zonk(ty),
+            payload,
+        )
+
+    # -- the algorithm (Figure 16, solver-state form) -------------------------
+
+    def infer_node(
+        self, delta: KindEnv, gamma: TypeEnv, term: Term
+    ) -> tuple[Type, Any]:
+        """Infer ``term``; returns its (possibly un-zonked) type and the
+        elaboration payload.  All effects go through ``self.solver``."""
+        elab = self.elaborator
+        solver = self.solver
 
         if isinstance(term, Var):
             ty = gamma.lookup(term.name)
+            # The environment type may mention solved variables; zonk so
+            # the quantifier prefix to instantiate is visible.  (Cheap
+            # pre-check: most lookups hit fully-solved monotypes.)
+            store = solver.store
+            if store and not store.keys().isdisjoint(ftv_set(ty)):
+                ty = solver.zonk(ty)
+            if not isinstance(ty, TForall):
+                return ty, (None if self._no_elab else elab.var(term.name, ty, ()))
             prefix, body = split_foralls(ty)
             fresh = tuple(self.supply.fresh_flexible() for _ in prefix)
-            theta1 = theta.extend_all(fresh, Kind.POLY)
+            solver.declare_all(fresh, Kind.POLY)
             inst = instantiation_from(prefix, [TVar(f) for f in fresh])
             type_args = tuple(TVar(f) for f in fresh)
-            return (
-                theta1,
-                Subst.identity(),
-                inst(body),
-                elab.var(term.name, ty, type_args),
+            return inst(body), (
+                None if self._no_elab else elab.var(term.name, ty, type_args)
             )
-
-        if isinstance(term, IntLit):
-            return theta, Subst.identity(), INT, elab.literal(term, INT)
-        if isinstance(term, BoolLit):
-            return theta, Subst.identity(), BOOL, elab.literal(term, BOOL)
-        if isinstance(term, StrLit):
-            return theta, Subst.identity(), STRING, elab.literal(term, STRING)
-
-        if isinstance(term, Lam):
-            a = self.supply.fresh_flexible()
-            theta1, subst1, body_ty, body_p = self.infer(
-                delta,
-                theta.extend(a, Kind.MONO),
-                gamma.extend(term.param, TVar(a)),
-                term.body,
-            )
-            param_ty = subst1(TVar(a))
-            # Discharge `a` locally: its binding leaves the substitution,
-            # so zonk it into the elaborated body now.
-            local = Subst.singleton(a, param_ty)
-            subst = subst1.remove([a])
-            payload = elab.lam(term.param, param_ty, elab.zonk(body_p, local))
-            return theta1, subst, arrow(param_ty, body_ty), payload
-
-        if isinstance(term, LamAnn):
-            theta1, subst, body_ty, body_p = self.infer(
-                delta, theta, gamma.extend(term.param, term.ann), term.body
-            )
-            payload = elab.lam(term.param, term.ann, body_p, annotated=True)
-            return theta1, subst, arrow(term.ann, body_ty), payload
 
         if isinstance(term, App):
-            return self._infer_app(delta, theta, gamma, term)
+            return self._infer_app(delta, gamma, term)
+
+        if isinstance(term, Lam):
+            # Consume the whole lambda spine iteratively: one recursive
+            # call for the body instead of one per binder.  (Subclass
+            # hooks still fire for the body via self.infer_node, and a
+            # Lam's own type is an arrow, which no extension rewrites.)
+            supply = self.supply
+            kinds = solver.kinds
+            frames: list[tuple[str, TVar, Any]] = []
+            t: Term = term
+            try:
+                while isinstance(t, Lam):
+                    a = supply.fresh_flexible()
+                    kinds[a] = Kind.MONO
+                    param_ty = tvar_unchecked(a)
+                    frames.append((t.param, param_ty, gamma._push(t.param, param_ty)))
+                    t = t.body
+                body_ty, body_p = self.infer_node(delta, gamma, t)
+            finally:
+                for param, _, token in reversed(frames):
+                    gamma._pop(param, token)
+            # Solved parameter variables stay in the store; the final
+            # zonk resolves the parameter types in one pass.
+            no_elab = self._no_elab
+            for param, param_ty, _ in reversed(frames):
+                body_p = None if no_elab else elab.lam(param, param_ty, body_p)
+                body_ty = tcon_unchecked(ARROW, (param_ty, body_ty))
+            return body_ty, body_p
 
         if isinstance(term, Let):
-            return self._infer_let(delta, theta, gamma, term)
+            return self._infer_let(delta, gamma, term)
+
+        if isinstance(term, FrozenVar):
+            ty = gamma.lookup(term.name)
+            return ty, (None if self._no_elab else elab.frozen_var(term.name, ty))
+
+        if isinstance(term, IntLit):
+            return INT, (None if self._no_elab else elab.literal(term, INT))
+        if isinstance(term, BoolLit):
+            return BOOL, (None if self._no_elab else elab.literal(term, BOOL))
+        if isinstance(term, StrLit):
+            return STRING, (None if self._no_elab else elab.literal(term, STRING))
+
+        if isinstance(term, LamAnn):
+            token = gamma._push(term.param, term.ann)
+            try:
+                body_ty, body_p = self.infer_node(delta, gamma, term.body)
+            finally:
+                gamma._pop(term.param, token)
+            payload = (
+                None
+                if self._no_elab
+                else elab.lam(term.param, term.ann, body_p, annotated=True)
+            )
+            return arrow(term.ann, body_ty), payload
 
         if isinstance(term, LetAnn):
-            return self._infer_let_ann(delta, theta, gamma, term)
+            return self._infer_let_ann(delta, gamma, term)
 
         raise TypeError(f"not a term: {term!r}")
 
-    def _infer_app(self, delta, theta, gamma, term: App):
+    def _infer_app(self, delta, gamma, term: App):
         elab = self.elaborator
-        theta1, subst1, fn_ty, fn_p = self.infer(delta, theta, gamma, term.fn)
-        theta2, subst2, arg_ty, arg_p = self.infer(
-            delta, theta1, gamma.map_types(subst1), term.arg
-        )
-        fn_ty = subst2(fn_ty)
+        solver = self.solver
+        fn_ty, fn_p = self.infer_node(delta, gamma, term.fn)
+        arg_ty, arg_p = self.infer_node(delta, gamma, term.arg)
+        fn_ty = solver.prune(fn_ty)
 
         if self.strategy == ELIMINATOR and isinstance(fn_ty, TForall):
             # Eliminator instantiation: a polymorphic term in application
             # position is implicitly instantiated with fresh variables.
-            prefix, body = split_foralls(fn_ty)
+            prefix, body = split_foralls(solver.zonk(fn_ty))
             fresh = tuple(self.supply.fresh_flexible() for _ in prefix)
-            theta2 = theta2.extend_all(fresh, Kind.POLY)
+            solver.declare_all(fresh, Kind.POLY)
             inst = instantiation_from(prefix, [TVar(f) for f in fresh])
             fn_ty = inst(body)
-            fn_p = elab.inst(fn_p, tuple(TVar(f) for f in fresh))
+            if not self._no_elab:
+                fn_p = elab.inst(fn_p, tuple(TVar(f) for f in fresh))
 
         b = self.supply.fresh_flexible()
-        theta3, unifier = unify(
-            delta,
-            theta2.extend(b, Kind.POLY),
-            fn_ty,
-            arrow(arg_ty, TVar(b)),
-            self.supply,
-        )
-        result_ty = unifier(TVar(b))
-        subst3 = unifier.remove([b])
-        subst = subst3.compose(subst2).compose(subst1)
-        payload = elab.app(
-            elab.zonk(fn_p, unifier), elab.zonk(arg_p, unifier), result_ty
-        )
-        return theta3, subst, result_ty, payload
+        solver.declare(b, Kind.POLY)
+        solver.unify(delta, fn_ty, arrow(arg_ty, TVar(b)), self.supply)
+        result_ty = solver.prune(TVar(b))
+        payload = None if self._no_elab else elab.app(fn_p, arg_p, result_ty)
+        return result_ty, payload
 
-    def _infer_let(self, delta, theta, gamma, term: Let):
+    def _infer_let(self, delta, gamma, term: Let):
         elab = self.elaborator
-        theta1, subst1, bound_ty, bound_p = self.infer(delta, theta, gamma, term.bound)
+        solver = self.solver
+        ambient = solver.flexible_names()  # Theta at entry
+        bound_ty, bound_p = self.infer_node(delta, gamma, term.bound)
+        bound_ty = solver.zonk(bound_ty)
 
-        # Delta' = ftv(theta1) - Delta : flexible variables reachable from
-        # the ambient context (identity images included).
-        reachable = set(subst1.ftv_over(theta.names())) - set(delta.names())
-        # Delta''' = ftv(A) - (Delta, Delta') : the generalisation candidates.
+        # Delta' = ftv(theta1) over Theta : flexible variables reachable
+        # from the ambient context (identity images included).
+        reachable: set[str] = set()
+        for name in ambient:
+            reachable.update(ftv_set(solver.zonk(TVar(name))))
+        # Delta''' = ftv(A) - (Delta, Delta') : generalisation candidates,
+        # in first-occurrence order (quantifier order is significant).
         candidates = tuple(
             v for v in ftv(bound_ty) if v not in delta and v not in reachable
         )
         binders = candidates if self._generalisable(term.bound) else ()
 
         # Theta1' = demote(mono, Theta1, Delta''') ; then drop the binders.
-        theta1_demoted = demote(Kind.MONO, theta1, candidates)
-        theta_for_body = theta1_demoted.remove(binders)
+        solver.demote(candidates)
+        solver.undeclare_all(binders)
 
         var_ty = forall(binders, bound_ty)
-        theta2, subst2, body_ty, body_p = self.infer(
-            delta,
-            theta_for_body,
-            gamma.map_types(subst1).extend(term.var, var_ty),
-            term.body,
+        token = gamma._push(term.var, var_ty)
+        try:
+            body_ty, body_p = self.infer_node(delta, gamma, term.body)
+        finally:
+            gamma._pop(term.var, token)
+        payload = (
+            None
+            if self._no_elab
+            else elab.let(term.var, binders, var_ty, bound_p, body_p)
         )
-        subst = subst2.compose(subst1)
-        payload = elab.let(
-            term.var, binders, subst2(var_ty), elab.zonk(bound_p, subst2), body_p
-        )
-        return theta2, subst, body_ty, payload
+        return body_ty, payload
 
-    def _infer_let_ann(self, delta, theta, gamma, term: LetAnn):
+    def _infer_let_ann(self, delta, gamma, term: LetAnn):
         elab = self.elaborator
+        solver = self.solver
         binders, ann_body = self._split(term.ann, term.bound)
         delta_inner = delta.extend_all(binders, Kind.MONO)
+        ambient = solver.flexible_names()  # Theta at entry
 
-        theta1, subst1, bound_ty, bound_p = self.infer(
-            delta_inner, theta, gamma, term.bound
-        )
-        theta2, unifier = unify(delta_inner, theta1, ann_body, bound_ty, self.supply)
-        subst2 = unifier.compose(subst1)
+        bound_ty, bound_p = self.infer_node(delta_inner, gamma, term.bound)
+        solver.unify(delta_inner, ann_body, bound_ty, self.supply)
 
         # The annotation's own quantified variables must not leak into the
-        # ambient substitution (Figure 16's `assert ftv(theta2) # Delta'`).
-        escaped = set(subst2.ftv_over(theta.names())) & set(binders)
+        # ambient context (Figure 16's `assert ftv(theta2) # Delta'`).
+        binder_set = set(binders)
+        escaped: set[str] = set()
+        for name in ambient:
+            escaped.update(ftv_set(solver.zonk(TVar(name))) & binder_set)
         if escaped:
             raise SkolemEscapeError(
                 sorted(escaped)[0], f"annotation `{term.ann}` on {term.var}"
             )
 
-        theta3, subst3, body_ty, body_p = self.infer(
-            delta,
-            theta2,
-            gamma.map_types(subst2).extend(term.var, term.ann),
-            term.body,
+        token = gamma._push(term.var, term.ann)
+        try:
+            body_ty, body_p = self.infer_node(delta, gamma, term.body)
+        finally:
+            gamma._pop(term.var, token)
+        payload = (
+            None
+            if self._no_elab
+            else elab.let(
+                term.var, binders, term.ann, bound_p, body_p, annotated=True
+            )
         )
-        subst = subst3.compose(subst2)
-        payload = elab.let(
-            term.var,
-            binders,
-            term.ann,
-            elab.zonk(bound_p, subst3.compose(unifier)),
-            body_p,
-            annotated=True,
-        )
-        return theta3, subst, body_ty, payload
+        return body_ty, payload
 
 
 # ---------------------------------------------------------------------------
@@ -336,7 +437,9 @@ def infer_raw(
     """Run inference and return the raw result (env, subst, type, payload).
 
     Checks well-scopedness (``Delta |> M``) and environment well-formedness
-    first, as the paper's theorems require.
+    first, as the paper's theorems require.  The returned type is fully
+    zonked; ``result.subst``/``result.theta_env`` are lazy views over the
+    solver store.
     """
     env = env or TypeEnv.empty()
     delta = delta or KindEnv.empty()
@@ -344,8 +447,11 @@ def infer_raw(
     inferencer = Inferencer(**options)
     well_scoped(delta, term)
     env_well_formed(delta.concat(theta), env)
-    theta_out, subst, ty, payload = inferencer.infer(delta, theta, env, term)
-    return InferenceResult(theta_out, subst, ty, payload, inferencer.supply)
+    solver = inferencer.solver
+    solver.absorb(theta)
+    # Private env copy: infer_node extends it by push/pop mutation.
+    ty, payload = inferencer.infer_node(delta, env.copy_for_mutation(), term)
+    return InferenceResult(solver, solver.zonk(ty), payload, inferencer.supply)
 
 
 def infer_type(
@@ -410,50 +516,122 @@ def normalise_type(ty: Type, rename_bound: bool = False) -> Type:
     (or when ``rename_bound`` is set) -- generalisation may promote a
     flexible ``%7`` into a quantifier, which also deserves a pretty name.
     """
-    taken = set(ftv(ty)) | {
-        v for t in _all_binders(ty) for v in (t,)
-    }
-    supply = display_names({n for n in taken if not _is_machine(n)})
+    free: list[str] = []
+    binders: list[str] = []
+    _scan_names(ty, free, set(), binders, _EMPTY_BOUND)
+
+    # One pass over the collected names: what needs renaming, what the
+    # pretty-name supply must avoid.
+    machine = "%!"
+    avoid: set[str] = set()
+    any_machine = False
+    for n in free:
+        if n[0] in machine:
+            any_machine = True
+        else:
+            avoid.add(n)
+    for b in binders:
+        if b[0] in machine:
+            any_machine = True
+        else:
+            avoid.add(b)
+    if not any_machine and not rename_bound:
+        return ty
+
+    supply = display_names(avoid)
+
+    if not binders and not rename_bound:
+        # No quantifiers anywhere: renaming is a plain free-variable
+        # relabelling in first-occurrence order (already `free`'s order).
+        flat = {n: next(supply) for n in free if n[0] in machine}
+        return _rename_flat(ty, flat)
 
     mapping: dict[str, str] = {}
 
     def pretty(name: str) -> str:
-        if name not in mapping:
-            mapping[name] = next(supply)
-        return mapping[name]
+        new = mapping.get(name)
+        if new is None:
+            new = mapping[name] = next(supply)
+        return new
 
-    def walk(t: Type, bound: dict[str, str]) -> Type:
+    def walk(t: Type, bound: dict[str, str] | None) -> Type:
         if isinstance(t, TVar):
-            if t.name in bound:
-                return TVar(bound[t.name])
-            if _is_machine(t.name):
-                return TVar(pretty(t.name))
+            name = t.name
+            if bound and name in bound:
+                return TVar(bound[name])
+            if _is_machine(name):
+                return TVar(pretty(name))
             return t
-        from .types import TCon
-
         if isinstance(t, TCon):
-            return TCon(t.con, tuple(walk(a, bound) for a in t.args))
+            new_args = []
+            changed = False
+            for a in t.args:
+                w = walk(a, bound)
+                if w is not a:
+                    changed = True
+                new_args.append(w)
+            if not changed:
+                return t
+            return TCon(t.con, tuple(new_args))
         if isinstance(t, TForall):
             if _is_machine(t.var) or rename_bound:
                 new = pretty(t.var)
-                return TForall(new, walk(t.body, {**bound, t.var: new}))
-            return TForall(t.var, walk(t.body, bound))
+                inner = dict(bound) if bound else {}
+                inner[t.var] = new
+                return TForall(new, walk(t.body, inner))
+            new_body = walk(t.body, bound)
+            if new_body is t.body:
+                return t
+            return TForall(t.var, new_body)
         raise TypeError(f"not a type: {t!r}")
 
-    return walk(ty, {})
+    return walk(ty, None)
 
 
 def _is_machine(name: str) -> bool:
     return is_flexible_name(name) or name.startswith("!")
 
 
-def _all_binders(ty: Type):
-    if isinstance(ty, TForall):
-        yield ty.var
-        yield from _all_binders(ty.body)
-    else:
-        from .types import TCon
+_EMPTY_BOUND: frozenset[str] = frozenset()
 
-        if isinstance(ty, TCon):
-            for arg in ty.args:
-                yield from _all_binders(arg)
+
+def _scan_names(
+    ty: Type,
+    free: list[str],
+    seen: set[str],
+    binders: list[str],
+    bound: frozenset[str],
+) -> None:
+    """Collect free variables (first-occurrence order) and all binders
+    in a single traversal."""
+    if isinstance(ty, TVar):
+        name = ty.name
+        if name not in bound and name not in seen:
+            seen.add(name)
+            free.append(name)
+    elif isinstance(ty, TCon):
+        for arg in ty.args:
+            _scan_names(arg, free, seen, binders, bound)
+    elif isinstance(ty, TForall):
+        binders.append(ty.var)
+        _scan_names(ty.body, free, seen, binders, bound | {ty.var})
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"not a type: {ty!r}")
+
+
+def _rename_flat(ty: Type, mapping: dict[str, str]) -> Type:
+    """Rename free variables of a quantifier-free type (no capture risk)."""
+    if isinstance(ty, TVar):
+        new = mapping.get(ty.name)
+        return ty if new is None else tvar_unchecked(new)
+    args = ty.args
+    new_args = []
+    changed = False
+    for a in args:
+        w = _rename_flat(a, mapping)
+        if w is not a:
+            changed = True
+        new_args.append(w)
+    if not changed:
+        return ty
+    return tcon_unchecked(ty.con, tuple(new_args))

@@ -1,0 +1,432 @@
+"""Mutable solver state: in-place unification with zonking.
+
+This module is the performance core of the reproduction.  The paper's
+Figure 15/16 algorithms (preserved verbatim in
+:mod:`repro.core.reference`) return a fresh immutable ``Subst`` from
+every unification step and eagerly compose it, re-applying substitutions
+to whole types and whole environments; that is quadratic-to-cubic on
+deep or wide problems.  Production inference engines (OCaml, GHC) use a
+*mutable variable store* instead, and the follow-up paper
+"Constraint-based type inference for FreezeML" (Emrich et al., 2022)
+shows FreezeML's typing discipline is compatible with a stateful solver.
+
+Design
+------
+
+:class:`SolverState` holds, for one inference/unification run:
+
+* ``kinds`` -- the refined kind environment ``Theta`` as a mutable
+  insertion-ordered dict (flexible variable name -> MONO/POLY);
+* ``store`` -- the binding store: flexible variable name -> the type it
+  was solved to.  A variable is *either* in ``kinds`` (unsolved) *or* in
+  ``store`` (solved), never both -- binding moves it across.
+* ``trail`` -- the names bound, in order; used to delimit the bindings
+  made while unifying under a quantifier so that skolem escape can be
+  checked on exactly that segment (Figure 15's ``ftv(theta)`` premise).
+
+``unify`` binds variables in place in near-constant time per binding;
+variable-to-variable chains are collapsed by path compression in
+:meth:`SolverState.prune` (union-find style) and by storing images
+zonked at bind time.  Types elsewhere (environments, inferred types,
+elaboration payloads) are allowed to go *stale* -- they may mention
+solved variables -- and are repaired by :meth:`SolverState.zonk`, which
+chases bindings with cycle detection and memoises fully-resolved store
+entries back into the store.
+
+Zonking discipline
+------------------
+
+The inferencer zonks at exactly the points where the *structure* of a
+type matters before the run is over:
+
+* generalisation (``let``): the bound type is zonked so the
+  generalisation candidates ``ftv(A) - (Delta, Delta')`` are read off
+  the solved form;
+* instantiation (``Var`` occurrences): the environment type is zonked so
+  its quantifier prefix is visible;
+* final results: ``infer_raw`` zonks the inferred type, and the
+  ``Subst``/``KindEnv`` views below make the classic eager-substitution
+  results available at the public boundary.
+
+Compatibility boundary
+----------------------
+
+``repro.core.unify.unify`` and ``repro.core.infer`` keep their paper
+signatures: they run on a ``SolverState`` internally and synthesise the
+``(Theta', theta)`` pair at the end via :meth:`SolverState.kind_env` and
+:meth:`SolverState.as_subst`.  Downstream consumers (``check.py``,
+``derivation.py``, the System F elaborator, the HMF baseline, all
+existing tests) are unaffected.
+"""
+
+from __future__ import annotations
+
+from .kinds import Kind, KindEnv
+from .subst import Subst, _fresh_binder
+from .types import (
+    TCon,
+    TForall,
+    TVar,
+    Type,
+    constructor_arity,
+    ftv_set,
+    is_monotype,
+    rename,
+)
+from ..errors import (
+    KindError,
+    MonomorphismError,
+    OccursCheckError,
+    SkolemEscapeError,
+    UnificationError,
+)
+from ..names import NameSupply
+
+__all__ = ["SolverState"]
+
+
+class SolverState:
+    """A union-find style binding store plus refined kind environment.
+
+    One instance is threaded through a whole inference run (or created
+    per call at the compatibility boundary of :func:`repro.core.unify.unify`).
+    """
+
+    __slots__ = ("kinds", "store", "trail", "_clean")
+
+    def __init__(self, theta: KindEnv | None = None):
+        self.kinds: dict[str, Kind] = dict(theta.items()) if theta else {}
+        self.store: dict[str, Type] = {}
+        self.trail: list[str] = []
+        # Names whose store entry is fully zonked w.r.t. the current
+        # store; invalidated wholesale on every new binding.
+        self._clean: set[str] = set()
+
+    # -- refined environment (Theta) ops ------------------------------------
+
+    def absorb(self, theta: KindEnv) -> None:
+        """Add ``theta``'s entries to the refined environment."""
+        for name, kind in theta.items():
+            self.kinds[name] = kind
+
+    def declare(self, name: str, kind: Kind) -> None:
+        """``Theta, name : kind`` -- register a fresh flexible variable."""
+        self.kinds[name] = kind
+
+    def declare_all(self, names, kind: Kind) -> None:
+        for name in names:
+            self.kinds[name] = kind
+
+    def undeclare_all(self, names) -> None:
+        """``Theta - names`` (generalisation removes its binders)."""
+        for name in names:
+            self.kinds.pop(name, None)
+
+    def demote(self, names) -> None:
+        """Re-kind the listed flexible variables to MONO (Figure 15)."""
+        kinds = self.kinds
+        for name in names:
+            if name in kinds:
+                kinds[name] = Kind.MONO
+
+    def flexible_names(self) -> tuple[str, ...]:
+        """The unsolved flexible variables, in declaration order."""
+        return tuple(self.kinds)
+
+    def kind_env(self) -> KindEnv:
+        """The residual refined environment ``Theta'`` as a KindEnv view."""
+        return KindEnv(self.kinds.items())
+
+    # -- the binding store ---------------------------------------------------
+
+    def ensure_well_formed(self, delta: KindEnv, ty: Type) -> None:
+        """Check ``Delta, Theta |- ty : *`` (scope/arity) without
+        materialising a ``KindEnv`` view; raises :class:`KindError`."""
+        self._check_wf(delta, ty)
+
+    def set_binding(self, name: str, image: Type) -> None:
+        """Record ``name |-> image`` in the store (image fully zonked).
+
+        The raw primitive under :meth:`_bind`; also used by clients that
+        layer their own binding discipline (e.g. the ML baseline).
+        Maintains the trail and invalidates the zonk memo.
+        """
+        self.store[name] = image
+        self.trail.append(name)
+        self._clean.clear()
+        self._clean.add(name)
+
+    def prune(self, ty: Type) -> Type:
+        """Chase bindings at the head of ``ty``, with path compression.
+
+        Returns either a non-variable type, an unsolved/rigid variable,
+        or the terminus of a variable chain.  Intermediate variables are
+        re-pointed at the terminus (union-find path halving to O(alpha)).
+        """
+        if not isinstance(ty, TVar):
+            return ty
+        store = self.store
+        name = ty.name
+        if name not in store:
+            return ty
+        chain: list[str] = []
+        t: Type = ty
+        while isinstance(t, TVar) and t.name in store:
+            chain.append(t.name)
+            t = store[t.name]
+        if len(chain) > 1:
+            for n in chain:
+                store[n] = t
+        return t
+
+    def zonk(self, ty: Type) -> Type:
+        """Resolve every solved variable in ``ty`` (capture-avoiding).
+
+        Cycle-safe: a variable whose binding is reached again while it is
+        still being expanded raises :class:`OccursCheckError` (the occurs
+        check at bind time makes this unreachable in normal operation,
+        but the store is a plain dict and defensive callers -- and the
+        tests -- can create cycles directly).  Fully-resolved store
+        entries are written back into the store, so repeated zonks are
+        amortised O(1) per solved variable between bindings.
+        """
+        store = self.store
+        if not store:
+            return ty
+        active: set[str] = set()
+        clean = self._clean
+
+        def resolve(name: str) -> Type:
+            # The fully zonked image of the solved variable ``name``.
+            if name in clean:
+                return store[name]
+            if name in active:
+                raise OccursCheckError(name, store[name])
+            active.add(name)
+            try:
+                image = walk(store[name], _EMPTY_SET, None)
+            finally:
+                active.discard(name)
+            store[name] = image
+            clean.add(name)
+            return image
+
+        def walk(t: Type, bound: frozenset[str], extra: dict | None) -> Type:
+            if isinstance(t, TVar):
+                name = t.name
+                if name in bound:
+                    return t
+                if extra is not None and name in extra:
+                    return extra[name]
+                if name in store:
+                    return resolve(name)
+                return t
+            # Peek (never compute) the free-variable cache: when present
+            # and disjoint from the store, the subtree is already solved.
+            free = t._ftv
+            # keys().isdisjoint iterates the (small) cached free set
+            # rather than the whole store/overlay.
+            if (
+                free is not None
+                and store.keys().isdisjoint(free)
+                and not (extra and not extra.keys().isdisjoint(free))
+            ):
+                return t
+            if isinstance(t, TCon):
+                new_args = []
+                changed = False
+                for a in t.args:
+                    w = walk(a, bound, extra)
+                    if w is not a:
+                        changed = True
+                    new_args.append(w)
+                if not changed:
+                    return t
+                return TCon(t.con, tuple(new_args))
+            if isinstance(t, TForall):
+                var = t.var
+                # Capture check: would an image smuggle a free occurrence
+                # of the binder under it?  (Rare; mirrors Subst._apply.)
+                image_vars: set[str] = set()
+                for n in ftv_set(t.body):
+                    if n == var or n in bound:
+                        continue
+                    if extra is not None and n in extra:
+                        image_vars.update(ftv_set(extra[n]))
+                    elif n in store:
+                        image_vars.update(ftv_set(resolve(n)))
+                if var in image_vars:
+                    avoid = image_vars | set(store) | ftv_set(t.body)
+                    fresh = _fresh_binder(var, avoid)
+                    new_extra = dict(extra) if extra else {}
+                    new_extra[var] = TVar(fresh)
+                    return TForall(fresh, walk(t.body, bound, new_extra))
+                new_body = walk(t.body, bound | {var}, extra)
+                if new_body is t.body:
+                    return t
+                return TForall(var, new_body)
+            raise TypeError(f"not a type: {t!r}")
+
+        return walk(ty, _EMPTY_SET, None)
+
+    def as_subst(self) -> Subst:
+        """The classic eager substitution ``theta``, synthesised lazily.
+
+        Every solved variable is mapped to its fully zonked image, so the
+        result is idempotent -- exactly what composing Figure 15's
+        substitutions step by step would have produced.
+        """
+        if not self.store:
+            return Subst.identity()
+        for name in tuple(self.store):
+            if name not in self._clean:
+                self.zonk(TVar(name))
+        return Subst(self.store)
+
+    # -- unification (Figure 15, destructive) --------------------------------
+
+    def unify(
+        self,
+        delta: KindEnv,
+        left: Type,
+        right: Type,
+        supply: NameSupply | None = None,
+    ) -> None:
+        """Make ``left`` and ``right`` equal by binding flexible variables.
+
+        Raises a :class:`UnificationError` subclass on failure; on success
+        the store/kinds are updated in place (``zonk`` then maps both
+        sides to the same type).
+        """
+        supply = supply or NameSupply()
+        # Memo of node pairs already unified in this call: once solved, a
+        # pair stays solved under further bindings, which makes
+        # shared-structure (DAG) problems linear.  Keyed by id() pair but
+        # storing the nodes as values -- the pins keep the objects alive
+        # so a recycled address can never produce a false hit.
+        self._unify(delta, left, right, supply, {})
+
+    def _unify(
+        self,
+        delta: KindEnv,
+        left: Type,
+        right: Type,
+        supply: NameSupply,
+        done: "dict[tuple[int, int], tuple[Type, Type]]",
+    ) -> None:
+        left = self.prune(left)
+        right = self.prune(right)
+        if left is right:
+            return
+
+        # Case 1: identical variables (rigid or flexible).
+        if isinstance(left, TVar) and isinstance(right, TVar) and left.name == right.name:
+            return
+
+        # Cases 2/3: an unsolved flexible variable against a type.
+        if isinstance(left, TVar) and left.name in self.kinds:
+            self._bind(delta, left.name, right)
+            return
+        if isinstance(right, TVar) and right.name in self.kinds:
+            self._bind(delta, right.name, left)
+            return
+
+        # Case 4: matching constructors, pointwise.
+        if isinstance(left, TCon) and isinstance(right, TCon):
+            if left.con != right.con or len(left.args) != len(right.args):
+                raise UnificationError(left, right, "constructor clash")
+            key = (id(left), id(right))
+            if key in done:
+                return
+            for l_arg, r_arg in zip(left.args, right.args):
+                self._unify(delta, l_arg, r_arg, supply, done)
+            done[key] = (left, right)
+            return
+
+        # Case 5: quantified types, via a shared fresh skolem.
+        if isinstance(left, TForall) and isinstance(right, TForall):
+            skolem = supply.fresh_skolem()
+            l_body = rename(left.body, {left.var: skolem})
+            r_body = rename(right.body, {right.var: skolem})
+            mark = len(self.trail)
+            self._unify(delta.extend(skolem, Kind.MONO), l_body, r_body, supply, done)
+            # Escape check: no binding made while solving the bodies may
+            # mention the skolem once fully resolved.
+            for name in self.trail[mark:]:
+                if skolem in ftv_set(self.zonk(TVar(name))):
+                    raise SkolemEscapeError(
+                        skolem, f"unifying `{left}` with `{right}`"
+                    )
+            return
+
+        raise UnificationError(left, right)
+
+    def _bind(self, delta: KindEnv, name: str, ty: Type) -> None:
+        """Bind the unsolved flexible ``name`` (Figure 15's var cases)."""
+        kind = self.kinds[name]
+        zty = self.zonk(ty)
+        free = ftv_set(zty)
+        if name in free:
+            raise OccursCheckError(name, zty)
+        del self.kinds[name]
+        if kind is Kind.MONO:
+            self.demote(free)
+        if isinstance(zty, TVar):
+            # Fast path for variable-to-variable bindings (the most
+            # common case): scope check only, trivially a monotype.
+            n = zty.name
+            if n not in self.kinds and n not in delta:
+                raise UnificationError(
+                    TVar(name), zty, f"unbound type variable: {n}"
+                )
+        else:
+            try:
+                mono = self._check_wf(delta, zty)
+            except KindError as exc:
+                raise UnificationError(TVar(name), zty, str(exc)) from exc
+            if kind is Kind.MONO and not mono:
+                raise MonomorphismError(name, zty)
+        self.set_binding(name, zty)
+
+    def _check_wf(self, delta: KindEnv, ty: Type) -> bool:
+        """Well-formedness of a binding image (Figure 15's kinding premise).
+
+        Checking ``Delta, Theta1 |- A : *`` can only fail on scoping or
+        constructor-arity grounds (every well-scoped type has kind ``*``
+        by Upcast), so this is a scope/arity walk rather than a full
+        kind computation.  Returns whether the type is a syntactic
+        monotype (computed in the same pass).
+        """
+        kinds = self.kinds
+        mono = True
+
+        def walk(t: Type, bound: frozenset[str]) -> None:
+            nonlocal mono
+            if isinstance(t, TVar):
+                n = t.name
+                if n in bound or n in kinds or n in delta:
+                    return
+                raise KindError(f"unbound type variable: {n}")
+            if isinstance(t, TCon):
+                arity = constructor_arity(t.con)
+                if arity is None:
+                    raise KindError(f"unknown type constructor: {t.con}")
+                if arity != len(t.args):
+                    raise KindError(
+                        f"constructor {t.con} expects {arity} arguments, "
+                        f"got {len(t.args)}"
+                    )
+                for arg in t.args:
+                    walk(arg, bound)
+                return
+            if isinstance(t, TForall):
+                mono = False
+                walk(t.body, bound | {t.var})
+                return
+            raise TypeError(f"not a type: {t!r}")
+
+        walk(ty, _EMPTY_SET)
+        return mono
+
+
+_EMPTY_SET: frozenset[str] = frozenset()

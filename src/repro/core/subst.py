@@ -25,15 +25,19 @@ from typing import Iterable, Iterator, Mapping
 
 from .types import TCon, TForall, TVar, Type, ftv, ftv_set
 
-_RENAME_COUNTER = [0]
+def _fresh_binder(base: str, avoid: "set[str] | frozenset[str]") -> str:
+    """A binder name not in ``avoid`` (for capture-avoiding application).
 
-
-def _fresh_binder(base: str, avoid: set[str]) -> str:
-    """A binder name not in ``avoid`` (for capture-avoiding application)."""
+    Deterministic and thread-safe: the candidate counter is local to the
+    call, so repeated runs rename binders identically (the seed used a
+    process-global counter, which made output depend on whatever had run
+    earlier in the process).
+    """
     candidate = base
+    counter = 0
     while candidate in avoid:
-        _RENAME_COUNTER[0] += 1
-        candidate = f"{base}'{_RENAME_COUNTER[0]}"
+        counter += 1
+        candidate = f"{base}'{counter}"
     return candidate
 
 
@@ -97,7 +101,7 @@ class Subst:
         """Free variables of the explicit bindings' images."""
         out: set[str] = set()
         for ty in self._map.values():
-            out.update(ftv(ty))
+            out.update(ftv_set(ty))
         return frozenset(out)
 
     def ftv_over(self, domain_names: Iterable[str]) -> tuple[str, ...]:
@@ -133,24 +137,33 @@ class Subst:
         if isinstance(ty, TVar):
             return mapping.get(ty.name, ty)
         if isinstance(ty, TCon):
-            return TCon(ty.con, tuple(self._apply(a, mapping) for a in ty.args))
+            # Reuse the node when no child changes: substitution leaves
+            # most subtrees alone, and reallocation would also discard
+            # their memoised free-variable sets.
+            new_args = tuple(self._apply(a, mapping) for a in ty.args)
+            if all(new is old for new, old in zip(new_args, ty.args)):
+                return ty
+            return TCon(ty.con, new_args)
         if isinstance(ty, TForall):
             inner = {k: v for k, v in mapping.items() if k != ty.var}
             if not inner:
                 return ty
             # Capture check: does the binder collide with any image var?
             image_vars: set[str] = set()
-            for name in ftv(ty.body):
+            for name in ftv_set(ty.body):
                 if name == ty.var:
                     continue
                 bound_ty = inner.get(name)
                 if bound_ty is not None:
-                    image_vars.update(ftv(bound_ty))
+                    image_vars.update(ftv_set(bound_ty))
             if ty.var in image_vars:
                 fresh = _fresh_binder(ty.var, image_vars | set(inner) | ftv_set(ty.body))
                 body = self._apply(ty.body, {**inner, ty.var: TVar(fresh)})
                 return TForall(fresh, body)
-            return TForall(ty.var, self._apply(ty.body, inner))
+            new_body = self._apply(ty.body, inner)
+            if new_body is ty.body:
+                return ty
+            return TForall(ty.var, new_body)
         raise TypeError(f"not a type: {ty!r}")
 
     def __call__(self, ty: Type) -> Type:
@@ -165,6 +178,11 @@ class Subst:
         of ``self`` whose variables are outside ``inner``'s domain are kept
         (they behave as ``inner``-identity variables).
         """
+        # Identity short-circuits: composing with the empty map is free.
+        if not inner._map:
+            return self
+        if not self._map:
+            return inner
         out: dict[str, Type] = {}
         for name, ty in inner._map.items():
             out[name] = self.apply(ty)

@@ -20,7 +20,7 @@ alpha-equivalent types").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 # ---------------------------------------------------------------------------
@@ -88,6 +88,12 @@ class TCon(Type):
 
     con: str
     args: tuple[Type, ...] = ()
+    # Free-variable cache, filled on first ftv_set() call.  Excluded from
+    # equality/hash: two structurally equal nodes may differ in whether
+    # the cache has been populated yet.
+    _ftv: "frozenset[str] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self):
         arity = _ARITIES.get(self.con)
@@ -104,6 +110,9 @@ class TForall(Type):
 
     var: str
     body: Type
+    _ftv: "frozenset[str] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
 
 # -- convenience builders ----------------------------------------------------
@@ -116,6 +125,33 @@ UNIT = TCon("Unit")
 
 def tvar(name: str) -> TVar:
     return TVar(name)
+
+
+_TCON_NEW = TCon.__new__
+_TVAR_NEW = TVar.__new__
+_SETATTR = object.__setattr__
+
+
+def tvar_unchecked(name: str) -> TVar:
+    """Build a ``TVar`` bypassing the dataclass ``__init__`` (hot paths)."""
+    t = _TVAR_NEW(TVar)
+    _SETATTR(t, "name", name)
+    return t
+
+
+def tcon_unchecked(con: str, args: tuple[Type, ...]) -> TCon:
+    """Build a ``TCon`` skipping arity validation.
+
+    Internal fast path for code that *rebuilds* nodes whose constructor
+    and arity are already known to be valid (zonking, renaming,
+    substitution) -- the dataclass ``__init__``/``__post_init__`` pair is
+    measurable on million-node workloads.
+    """
+    t = _TCON_NEW(TCon)
+    _SETATTR(t, "con", con)
+    _SETATTR(t, "args", args)
+    _SETATTR(t, "_ftv", None)
+    return t
 
 
 def arrow(domain: Type, codomain: Type) -> TCon:
@@ -173,6 +209,16 @@ def ftv(ty: Type) -> tuple[str, ...]:
                 seen.append(t.name)
                 seen_set.add(t.name)
         elif isinstance(t, TCon):
+            # Prune subtrees that cannot contribute new names.  Only
+            # *peek* at the per-node cache -- computing sets here would
+            # cost O(n^2) on long fresh variable chains.
+            free = t._ftv
+            if free is not None:
+                if bound:
+                    if all(n in seen_set or n in bound for n in free):
+                        return
+                elif free <= seen_set:
+                    return
             for arg in t.args:
                 walk(arg, bound)
         elif isinstance(t, TForall):
@@ -184,20 +230,44 @@ def ftv(ty: Type) -> tuple[str, ...]:
     return tuple(seen)
 
 
+_EMPTY_FTV: frozenset[str] = frozenset()
+
+
 def ftv_set(ty: Type) -> frozenset[str]:
-    """Free type variables as a set (when order is irrelevant)."""
-    return frozenset(ftv(ty))
+    """Free type variables as a set (when order is irrelevant).
+
+    The result is memoised on ``TCon``/``TForall`` nodes (types are
+    immutable, so a node's free-variable set never changes), which turns
+    the repeated membership scans in unification's demotion path and in
+    generalisation into cheap set operations.
+    """
+    if isinstance(ty, TVar):
+        return frozenset((ty.name,))
+    if isinstance(ty, TCon):
+        cached = ty._ftv
+        if cached is None:
+            args = ty.args
+            if not args:
+                cached = _EMPTY_FTV
+            elif len(args) == 1:
+                cached = ftv_set(args[0])
+            else:
+                cached = frozenset().union(*map(ftv_set, args))
+            object.__setattr__(ty, "_ftv", cached)
+        return cached
+    if isinstance(ty, TForall):
+        cached = ty._ftv
+        if cached is None:
+            body = ftv_set(ty.body)
+            cached = body - {ty.var} if ty.var in body else body
+            object.__setattr__(ty, "_ftv", cached)
+        return cached
+    raise TypeError(f"not a type: {ty!r}")
 
 
 def occurs(name: str, ty: Type) -> bool:
     """Does ``name`` occur free in ``ty``?"""
-    if isinstance(ty, TVar):
-        return ty.name == name
-    if isinstance(ty, TCon):
-        return any(occurs(name, arg) for arg in ty.args)
-    if isinstance(ty, TForall):
-        return ty.var != name and occurs(name, ty.body)
-    raise TypeError(f"not a type: {ty!r}")
+    return name in ftv_set(ty)
 
 
 def is_monotype(ty: Type) -> bool:

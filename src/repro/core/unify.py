@@ -22,21 +22,22 @@ Salient points, all from the paper:
 * Quantified types unify by skolemisation: both bodies are instantiated
   with the same fresh *rigid* variable ``c``, and after unifying we check
   that ``c`` did not escape into the substitution.
+
+Since the solver rework, this module is a thin compatibility boundary:
+the work happens on a mutable :class:`~repro.core.solver.SolverState`
+(in-place binding with path compression instead of eager ``Subst``
+composition), and the paper-shaped ``(Theta', theta)`` pair is
+synthesised from the store on the way out.  The paper-literal algorithm
+survives as :func:`repro.core.reference.reference_unify` for
+differential testing.
 """
 
 from __future__ import annotations
 
 from .kinds import Kind, KindEnv
+from .solver import SolverState
 from .subst import Subst
-from .types import TCon, TForall, TVar, Type, ftv, is_monotype
-from .wellformed import check_kind
-from ..errors import (
-    KindError,
-    MonomorphismError,
-    OccursCheckError,
-    SkolemEscapeError,
-    UnificationError,
-)
+from .types import Type
 from ..names import NameSupply
 
 
@@ -63,76 +64,6 @@ def unify(
 
     Raises a :class:`UnificationError` subclass on failure.
     """
-    supply = supply or NameSupply()
-    return _unify(delta, theta, left, right, supply)
-
-
-def _unify(
-    delta: KindEnv, theta: KindEnv, left: Type, right: Type, supply: NameSupply
-) -> tuple[KindEnv, Subst]:
-    # Case 1: identical variables (rigid or flexible).
-    if isinstance(left, TVar) and isinstance(right, TVar) and left.name == right.name:
-        return theta, Subst.identity()
-
-    # Cases 2/3: a flexible variable against an arbitrary type.
-    if isinstance(left, TVar) and left.name in theta:
-        return _bind(delta, theta, left.name, right)
-    if isinstance(right, TVar) and right.name in theta:
-        return _bind(delta, theta, right.name, left)
-
-    # Case 4: matching constructors, pointwise with threading.
-    if isinstance(left, TCon) and isinstance(right, TCon):
-        if left.con != right.con or len(left.args) != len(right.args):
-            raise UnificationError(left, right, "constructor clash")
-        theta_i = theta
-        subst_i = Subst.identity()
-        for l_arg, r_arg in zip(left.args, right.args):
-            theta_i, step = _unify(
-                delta, theta_i, subst_i(l_arg), subst_i(r_arg), supply
-            )
-            subst_i = step.compose(subst_i)
-        return theta_i, subst_i
-
-    # Case 5: quantified types, via a shared fresh skolem.
-    if isinstance(left, TForall) and isinstance(right, TForall):
-        skolem = supply.fresh_skolem()
-        l_body = Subst.singleton(left.var, TVar(skolem))(left.body)
-        r_body = Subst.singleton(right.var, TVar(skolem))(right.body)
-        theta1, subst = _unify(
-            delta.extend(skolem, Kind.MONO), theta, l_body, r_body, supply
-        )
-        if skolem in subst.range_ftv():
-            raise SkolemEscapeError(skolem, f"unifying `{left}` with `{right}`")
-        return theta1, subst
-
-    raise UnificationError(left, right)
-
-
-def _bind(
-    delta: KindEnv, theta: KindEnv, name: str, ty: Type
-) -> tuple[KindEnv, Subst]:
-    """Bind flexible variable ``name`` (of kind ``theta(name)``) to ``ty``."""
-    kind = theta.kind_of(name)
-    free = ftv(ty)
-    if name in free:
-        raise OccursCheckError(name, ty)
-    theta_rest = theta.remove([name])
-    flexible_in_ty = [v for v in free if v not in delta]
-    theta1 = demote(kind, theta_rest, flexible_in_ty)
-    try:
-        check_kind(delta.concat(_flexible_as_fixed(theta1, delta)), ty, Kind.POLY)
-    except KindError as exc:
-        raise UnificationError(TVar(name), ty, str(exc)) from exc
-    if kind is Kind.MONO and not is_monotype(ty):
-        raise MonomorphismError(name, ty)
-    return theta1, Subst.singleton(name, ty)
-
-
-def _flexible_as_fixed(theta: KindEnv, delta: KindEnv) -> KindEnv:
-    """View ``theta`` as extra kind-environment entries next to ``delta``.
-
-    The combined environment is what the paper writes ``Delta, Theta1``;
-    we keep the refined kinds so the MONO/POLY distinction is respected by
-    kinding.
-    """
-    return theta
+    solver = SolverState(theta)
+    solver.unify(delta, left, right, supply or NameSupply())
+    return solver.kind_env(), solver.as_subst()

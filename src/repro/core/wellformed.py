@@ -123,6 +123,9 @@ def split_annotation(ann: Type, bound: Term) -> tuple[tuple[str, ...], Type]:
     return (), ann
 
 
+_ATOMIC_TERMS = (Var, FrozenVar, *LITERALS)
+
+
 def well_scoped(delta: KindEnv, term: Term) -> None:
     """Check ``Delta |> M``; raise :class:`ScopeError` on failure.
 
@@ -131,7 +134,7 @@ def well_scoped(delta: KindEnv, term: Term) -> None:
     annotation's top-level quantifiers into scope for the bound term
     (scoped type variables).
     """
-    if isinstance(term, (Var, FrozenVar, *LITERALS)):
+    if isinstance(term, _ATOMIC_TERMS):
         return
     if isinstance(term, Lam):
         well_scoped(delta, term.body)

@@ -50,7 +50,7 @@ class FreezeTerm(Term):
 class PervasiveInferencer(Inferencer):
     """Figure 16 with instantiation applied to every non-frozen term."""
 
-    def infer(self, delta, theta, gamma, term):
+    def infer_node(self, delta, gamma, term):
         if isinstance(term, FreezeTerm):
             # The frozen term keeps its quantifiers; its *subterms* are
             # still inferred under the pervasive regime (the recursion
@@ -58,18 +58,23 @@ class PervasiveInferencer(Inferencer):
             inner = term.body
             while isinstance(inner, FreezeTerm):
                 inner = inner.body
-            return super().infer(delta, theta, gamma, inner)
+            return super().infer_node(delta, gamma, inner)
 
-        theta1, subst, ty, payload = super().infer(delta, theta, gamma, term)
-        if self._keeps_quantifiers(term) or not isinstance(ty, TForall):
-            return theta1, subst, ty, payload
+        ty, payload = super().infer_node(delta, gamma, term)
+        if self._keeps_quantifiers(term):
+            return ty, payload
+        # The inferred type may be a solved variable; look through the
+        # store to see whether a quantifier prefix surfaced.
+        head = self.solver.prune(ty)
+        if not isinstance(head, TForall):
+            return ty, payload
 
-        prefix, body = split_foralls(ty)
+        prefix, body = split_foralls(self.solver.zonk(head))
         fresh = tuple(self.supply.fresh_flexible() for _ in prefix)
-        theta2 = theta1.extend_all(fresh, Kind.POLY)
+        self.solver.declare_all(fresh, Kind.POLY)
         inst = instantiation_from(prefix, [TVar(f) for f in fresh])
         payload = self.elaborator.inst(payload, tuple(TVar(f) for f in fresh))
-        return theta2, subst, inst(body), payload
+        return inst(body), payload
 
     @staticmethod
     def _keeps_quantifiers(term: Term) -> bool:

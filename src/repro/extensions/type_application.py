@@ -18,11 +18,10 @@ from dataclasses import dataclass
 
 from ..core.env import TypeEnv
 from ..core.infer import Inferencer, normalise_type
-from ..core.kinds import Kind, KindEnv
+from ..core.kinds import KindEnv
 from ..core.subst import Subst
 from ..core.terms import Term, format_term
 from ..core.types import TForall, Type, format_type
-from ..core.wellformed import check_kind
 from ..errors import KindError, TypeInferenceError
 
 
@@ -40,22 +39,26 @@ class TyApp(Term):
 class TypeApplicationInferencer(Inferencer):
     """The core inferencer extended with the TyApp rule."""
 
-    def infer(self, delta, theta, gamma, term):
+    def infer_node(self, delta, gamma, term):
         if isinstance(term, TyApp):
-            theta1, subst1, fn_ty, fn_p = self.infer(delta, theta, gamma, term.fn)
+            fn_ty, fn_p = self.infer_node(delta, gamma, term.fn)
+            fn_ty = self.solver.prune(fn_ty)
             if not isinstance(fn_ty, TForall):
                 raise TypeInferenceError(
                     f"visible type application of non-polymorphic term "
                     f"`{term.fn}` : {fn_ty}"
                 )
             try:
-                check_kind(delta.concat(theta1), term.ty_arg, Kind.POLY)
+                # Scope/arity check against the live flexible environment
+                # (a POLY kind check can fail on nothing else), without
+                # materialising a KindEnv per TyApp node.
+                self.solver.ensure_well_formed(delta, term.ty_arg)
             except KindError as exc:
                 raise TypeInferenceError(str(exc)) from exc
             result_ty = Subst.singleton(fn_ty.var, term.ty_arg)(fn_ty.body)
             payload = self.elaborator.inst(fn_p, (term.ty_arg,))
-            return theta1, subst1, result_ty, payload
-        return super().infer(delta, theta, gamma, term)
+            return result_ty, payload
+        return super().infer_node(delta, gamma, term)
 
 
 def infer_type_vta(

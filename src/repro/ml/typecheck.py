@@ -14,6 +14,7 @@ terms outside the ML fragment.
 from __future__ import annotations
 
 from ..core.env import TypeEnv
+from ..core.solver import SolverState
 from ..core.subst import Subst
 from ..core.terms import (
     App,
@@ -34,6 +35,7 @@ from ..core.types import (
     Type,
     forall,
     ftv,
+    ftv_set,
     is_monotype,
     split_foralls,
 )
@@ -43,7 +45,12 @@ from .syntax import is_ml_scheme, is_ml_value
 
 
 def ml_unify(left: Type, right: Type, fixed: frozenset[str]) -> Subst:
-    """First-order unification; variables in ``fixed`` are rigid."""
+    """First-order unification; variables in ``fixed`` are rigid.
+
+    Standalone eager-substitution form, kept for callers that want a
+    one-shot unifier (e.g. the ML-to-System-F translation).  The
+    inferencer itself uses the in-place store below.
+    """
     if isinstance(left, TVar) and isinstance(right, TVar) and left.name == right.name:
         return Subst.identity()
     if isinstance(left, TVar) and left.name not in fixed:
@@ -70,50 +77,148 @@ def _ml_bind(name: str, ty: Type) -> Subst:
 
 
 class MLInferencer:
-    """Algorithm W (Damas-Milner 1982), value-restricted."""
+    """Algorithm W (Damas-Milner 1982), value-restricted.
+
+    Like the FreezeML core, the inferencer drives a mutable binding store
+    (flexible variable -> solved monotype) instead of composing
+    substitutions; ``infer`` synthesises the classic ``(Subst, Type)``
+    pair from the store at the end.
+    """
 
     def __init__(self, supply: NameSupply | None = None, fixed: frozenset[str] = frozenset()):
         self.supply = supply or NameSupply()
         self.fixed = fixed
+        # The union-find binding store, pruning and zonking are shared
+        # with the FreezeML core; ML only layers its own binding
+        # discipline (monotypes everywhere, `fixed` as the rigid set)
+        # and error type on top.
+        self._state = SolverState()
+        self._store = self._state.store
+
+    # -- store helpers ------------------------------------------------------
+
+    def _prune(self, ty: Type) -> Type:
+        return self._state.prune(ty)
+
+    def _zonk(self, ty: Type) -> Type:
+        return self._state.zonk(ty)
+
+    def _bind(self, name: str, ty: Type) -> None:
+        zty = self._zonk(ty)
+        if not is_monotype(zty):
+            raise MLTypeError(f"ML cannot bind `{name}` to polymorphic `{zty}`")
+        if name in ftv_set(zty):
+            raise MLTypeError(f"occurs check: `{name}` in `{zty}`")
+        self._state.set_binding(name, zty)
+
+    def _unify(self, left: Type, right: Type) -> None:
+        left = self._prune(left)
+        right = self._prune(right)
+        if left is right:
+            return
+        if isinstance(left, TVar) and isinstance(right, TVar) and left.name == right.name:
+            return
+        if isinstance(left, TVar) and left.name not in self.fixed:
+            self._bind(left.name, right)
+            return
+        if isinstance(right, TVar) and right.name not in self.fixed:
+            self._bind(right.name, left)
+            return
+        if isinstance(left, TCon) and isinstance(right, TCon):
+            if left.con != right.con or len(left.args) != len(right.args):
+                raise MLTypeError(f"cannot unify `{left}` with `{right}`")
+            for l_arg, r_arg in zip(left.args, right.args):
+                self._unify(l_arg, r_arg)
+            return
+        raise MLTypeError(f"cannot unify `{left}` with `{right}`")
+
+    # -- Algorithm W ---------------------------------------------------------
 
     def infer(self, gamma: TypeEnv, term: Term) -> tuple[Subst, Type]:
+        """The classic ``W(Gamma, M) = (S, tau)`` boundary.
+
+        Each call runs on a fresh store, so repeated calls on one
+        instance stay independent (as the eager seed behaved).
+        """
+        self._state = SolverState()
+        self._store = self._state.store
+        ty = self._infer(gamma.copy_for_mutation(), term)
+        store = self._store
+        if store:
+            subst = Subst({n: self._zonk(TVar(n)) for n in tuple(store)})
+        else:
+            subst = Subst.identity()
+        return subst, self._zonk(ty)
+
+    def _infer(self, gamma: TypeEnv, term: Term) -> Type:
         if isinstance(term, Var):
             try:
                 scheme = gamma.lookup(term.name)
             except UnboundVariableError as exc:
                 raise MLTypeError(str(exc)) from exc
-            if not is_ml_scheme(scheme):
+            store = self._store
+            if store and not store.keys().isdisjoint(ftv_set(scheme)):
+                scheme_view = self._zonk(scheme)
+            else:
+                scheme_view = scheme
+            if not is_ml_scheme(scheme_view):
                 raise MLTypeError(
                     f"`{term.name} : {scheme}` is not an ML type scheme"
                 )
             names, body = split_foralls(scheme)
+            if not names:
+                return body
             inst = Subst(
                 {name: TVar(self.supply.fresh_flexible()) for name in names}
             )
-            return Subst.identity(), inst(body)
+            return inst(body)
         if isinstance(term, IntLit):
-            return Subst.identity(), INT
+            return INT
         if isinstance(term, BoolLit):
-            return Subst.identity(), BOOL
+            return BOOL
         if isinstance(term, StrLit):
-            return Subst.identity(), STRING
+            return STRING
         if isinstance(term, Lam):
             param = TVar(self.supply.fresh_flexible())
-            subst, body_ty = self.infer(gamma.extend(term.param, param), term.body)
-            return subst, TCon("->", (subst(param), body_ty))
+            token = gamma._push(term.param, param)
+            try:
+                body_ty = self._infer(gamma, term.body)
+            finally:
+                gamma._pop(term.param, token)
+            return TCon("->", (param, body_ty))
         if isinstance(term, App):
-            subst1, fn_ty = self.infer(gamma, term.fn)
-            subst2, arg_ty = self.infer(gamma.map_types(subst1), term.arg)
+            fn_ty = self._infer(gamma, term.fn)
+            arg_ty = self._infer(gamma, term.arg)
             result = TVar(self.supply.fresh_flexible())
-            subst3 = ml_unify(subst2(fn_ty), TCon("->", (arg_ty, result)), self.fixed)
-            return subst3.compose(subst2).compose(subst1), subst3(result)
+            self._unify(fn_ty, TCon("->", (arg_ty, result)))
+            return self._prune(result)
         if isinstance(term, Let):
-            subst1, bound_ty = self.infer(gamma, term.bound)
-            gamma1 = gamma.map_types(subst1)
-            scheme = self.generalise(gamma1, bound_ty, term.bound)
-            subst2, body_ty = self.infer(gamma1.extend(term.var, scheme), term.body)
-            return subst2.compose(subst1), body_ty
+            bound_ty = self._infer(gamma, term.bound)
+            scheme = self._generalise_solved(gamma, bound_ty, term.bound)
+            token = gamma._push(term.var, scheme)
+            try:
+                return self._infer(gamma, term.body)
+            finally:
+                gamma._pop(term.var, token)
         raise MLTypeError(f"not an ML term: {term}")
+
+    def _generalise_solved(self, gamma: TypeEnv, ty: Type, bound: Term) -> Type:
+        """Generalise against the *solved* view of ``gamma``."""
+        zty = self._zonk(ty)
+        if not is_ml_value(bound):
+            return zty
+        env_vars: set[str] = set(self.fixed)
+        store = self._store
+        for _, env_ty in gamma.items():
+            free = ftv_set(env_ty)
+            if store.keys().isdisjoint(free):
+                # Entry untouched by solving; its (cached) free set is
+                # already the solved view.
+                env_vars.update(free)
+            else:
+                env_vars.update(ftv_set(self._zonk(env_ty)))
+        names = tuple(v for v in ftv(zty) if v not in env_vars)
+        return forall(names, zty)
 
     def generalise(self, gamma: TypeEnv, ty: Type, bound: Term) -> Type:
         """``gen(Delta, S, M)``: quantify unconstrained variables of values."""

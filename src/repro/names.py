@@ -41,7 +41,9 @@ class NameSupply:
 
     def fresh_flexible(self, hint: str = "") -> str:
         """Return a fresh flexible (unification) variable name."""
-        return f"{FLEXIBLE_PREFIX}{self._prefix}{hint}{next(self._counter)}"
+        if hint or self._prefix:
+            return f"{FLEXIBLE_PREFIX}{self._prefix}{hint}{next(self._counter)}"
+        return FLEXIBLE_PREFIX + str(next(self._counter))
 
     def fresh_skolem(self) -> str:
         """Return a fresh rigid skolem name."""

@@ -83,3 +83,32 @@ class TestCommands:
         from repro.cli import main
 
         assert main(["-c", "poly ~id"]) == 0
+
+
+class TestBenchCommand:
+    def test_default_command_writes_json(self):
+        from repro.cli import BENCH_DEFAULT_SUITES, build_bench_command
+
+        cmd, output = build_bench_command([], python="py")
+        assert output == "BENCH_solver.json"
+        assert cmd[:4] == ["py", "-m", "pytest", "-q"]
+        assert list(BENCH_DEFAULT_SUITES) == cmd[4:-1]
+        assert cmd[-1] == "--benchmark-json=BENCH_solver.json"
+
+    def test_quick_mode_disables_timing(self):
+        from repro.cli import build_bench_command
+
+        cmd, output = build_bench_command(["--quick"], python="py")
+        assert output == ""
+        assert "--benchmark-disable" in cmd
+        assert not any(a.startswith("--benchmark-json") for a in cmd)
+
+    def test_all_and_output_flags(self):
+        from repro.cli import build_bench_command
+
+        cmd, output = build_bench_command(
+            ["--all", "--output=out.json"], python="py"
+        )
+        assert output == "out.json"
+        assert "benchmarks" in cmd
+        assert cmd[-1] == "--benchmark-json=out.json"

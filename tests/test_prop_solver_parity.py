@@ -1,0 +1,168 @@
+"""Differential tests: solver-backed engine vs the paper-literal seed.
+
+The production engine (:mod:`repro.core.solver`) must agree with the
+eager substitution-composition transcription of Figures 15/16 preserved
+in :mod:`repro.core.reference`: identical accept/reject verdicts, and
+alpha-equivalent (up to consistent renaming of free variables) unifiers
+and principal types.  Checked on the paper's Figure 1/Table 1 corpus and
+on random types and terms.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.env import TypeEnv
+from repro.core.infer import infer_raw, infer_type
+from repro.core.kinds import Kind, KindEnv
+from repro.core.reference import (
+    reference_infer_raw,
+    reference_infer_type,
+    reference_unify,
+)
+from repro.core.terms import FrozenVar, Let
+from repro.core.types import TVar, alpha_equal, ftv
+from repro.core.unify import unify
+from repro.corpus.compare import equivalent_types
+from repro.corpus.examples import ALL_EXAMPLES
+from repro.errors import FreezeMLError, TypeInferenceError
+from tests.freezeml_strategies import freezeml_terms
+from tests.helpers import PRELUDE, fixed
+from tests.strategies import ml_terms, monotypes, polytypes
+
+FLEX = ("x", "y", "z")
+RIGID = ("a", "b", "c")
+DELTA = fixed(*RIGID)
+
+
+def flex_env(kind=Kind.POLY):
+    return KindEnv((n, kind) for n in FLEX)
+
+
+def _attempt_unify(engine, left, right):
+    try:
+        return engine(DELTA, flex_env(), left, right)
+    except TypeInferenceError:
+        return None
+
+
+def _assert_unifiers_agree(left, right):
+    solved = _attempt_unify(unify, left, right)
+    ref = _attempt_unify(reference_unify, left, right)
+    assert (solved is None) == (ref is None), (
+        f"verdicts diverge on {left} ~ {right}: solver={solved}, ref={ref}"
+    )
+    if solved is None:
+        return
+    theta_s, subst_s = solved
+    theta_r, subst_r = ref
+    assert dict(theta_s.items()) == dict(theta_r.items())
+    for name in FLEX:
+        assert alpha_equal(subst_s(TVar(name)), subst_r(TVar(name))), (
+            f"images of {name} diverge: {subst_s(TVar(name))} vs "
+            f"{subst_r(TVar(name))}"
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(monotypes(var_names=FLEX + RIGID), monotypes(var_names=FLEX + RIGID))
+def test_unify_parity_on_monotypes(left, right):
+    _assert_unifiers_agree(left, right)
+
+
+@settings(max_examples=150, deadline=None)
+@given(polytypes(var_names=RIGID), polytypes(var_names=RIGID))
+def test_unify_parity_on_polytypes(left, right):
+    _assert_unifiers_agree(left, right)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    monotypes(var_names=FLEX),
+    st.fixed_dictionaries({n: monotypes(var_names=RIGID) for n in FLEX}),
+)
+def test_unify_parity_on_instances(pattern, assignment):
+    from repro.core.subst import Subst
+
+    ground = Subst(assignment)(pattern)
+    _assert_unifiers_agree(pattern, ground)
+
+
+# ---------------------------------------------------------------------------
+# Inference parity
+# ---------------------------------------------------------------------------
+
+
+def _infer_both(term, env, **options):
+    try:
+        solved = infer_type(term, env, normalise=False, **options)
+    except FreezeMLError:
+        solved = None
+    try:
+        ref = reference_infer_type(term, env, normalise=False, **options)
+    except FreezeMLError:
+        ref = None
+    return solved, ref
+
+
+def _assert_inference_agrees(term, env, **options):
+    solved, ref = _infer_both(term, env, **options)
+    assert (solved is None) == (ref is None), (
+        f"verdicts diverge on {term}: solver={solved}, ref={ref}"
+    )
+    if solved is not None:
+        assert equivalent_types(solved, ref), (
+            f"principal types diverge on {term}: {solved} vs {ref}"
+        )
+
+
+@settings(max_examples=120, deadline=None)
+@given(freezeml_terms())
+def test_inference_parity_on_freezeml_terms(pair):
+    term, _tag = pair
+    _assert_inference_agrees(term, PRELUDE)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ml_terms())
+def test_inference_parity_on_ml_terms(pair):
+    term, _tag = pair
+    _assert_inference_agrees(term, TypeEnv())
+
+
+@settings(max_examples=80, deadline=None)
+@given(freezeml_terms())
+def test_inference_parity_without_value_restriction(pair):
+    term, _tag = pair
+    _assert_inference_agrees(term, PRELUDE, value_restriction=False)
+
+
+@settings(max_examples=80, deadline=None)
+@given(freezeml_terms())
+def test_residual_kinds_parity(pair):
+    """Both engines agree on the residual flexible variables' kinds over
+    the result type (the kinds drive the instance relation)."""
+    term, _tag = pair
+    solved = infer_raw(term, PRELUDE)
+    ref_theta, _ref_subst, ref_ty = reference_infer_raw(term, PRELUDE)
+    solved_kinds = sorted(
+        k.value for n, k in solved.theta_env.items() if n in set(ftv(solved.ty))
+    )
+    ref_kinds = sorted(
+        k.value for n, k in ref_theta.items() if n in set(ftv(ref_ty))
+    )
+    assert solved_kinds == ref_kinds
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 / Table 1 corpus parity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("example", ALL_EXAMPLES, ids=[x.id for x in ALL_EXAMPLES])
+def test_corpus_parity(example):
+    options = {"value_restriction": False} if example.flag == "no-vr" else {}
+    term = example.term()
+    if example.mode == "definition":
+        term = Let("it", term, FrozenVar("it"))
+    _assert_inference_agrees(term, example.env(), **options)
