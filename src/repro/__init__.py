@@ -11,6 +11,16 @@ Public API quick reference
 
 The main entry points:
 
+* :class:`Session` -- the unified facade: a stateful session with
+  guarded request methods (``infer``, ``define``, ``elaborate``,
+  ``derive``, ``evaluate``, ``run_program``, ``check``, ``check_many``)
+  returning structured :class:`Result`/:class:`Diagnostic` records.
+  Exceptions never escape it.
+
+  >>> from repro import Session
+  >>> Session().infer("poly ~id").type_str
+  'Int * Bool'
+
 * :func:`parse_term` / :func:`parse_type` -- surface syntax.
 * :func:`infer_type` / :func:`infer_definition` / :func:`typecheck` --
   the Algorithm W extension of Figure 16 (options: ``value_restriction``,
@@ -21,6 +31,7 @@ The main entry points:
 * :mod:`repro.semantics` -- a CBV evaluator and runtime prelude.
 """
 
+from .api import ENGINES, Result, Session, check_programs
 from .core.check import typeable
 from .core.env import TypeEnv
 from .core.infer import (
@@ -35,6 +46,7 @@ from .core.subst import Subst
 from .core import terms
 from .core import types
 from .corpus.signatures import prelude, prelude_with
+from .diagnostics import Diagnostic, Severity, Span, diagnostic_from_error
 from .errors import FreezeMLError, TypeInferenceError, UnificationError
 from .syntax.parser import parse_term, parse_type
 from .syntax.pretty import pretty_term, pretty_type
@@ -42,13 +54,21 @@ from .syntax.pretty import pretty_term, pretty_type
 __version__ = "1.0.0"
 
 __all__ = [
+    "ENGINES",
+    "Diagnostic",
     "FreezeMLError",
     "Kind",
     "KindEnv",
+    "Result",
+    "Session",
+    "Severity",
+    "Span",
     "Subst",
     "TypeEnv",
     "TypeInferenceError",
     "UnificationError",
+    "check_programs",
+    "diagnostic_from_error",
     "infer_definition",
     "infer_raw",
     "infer_type",

@@ -1,0 +1,586 @@
+"""The unified programmatic facade: one :class:`Session`, many requests.
+
+The paper presents FreezeML as a single judgement, and this module gives
+the reproduction a single programmatic surface to match.  A
+:class:`Session` owns the pieces of interpreter state that used to be
+scattered across ad-hoc entrypoints -- the type environment, the runtime
+value environment, the instantiation strategy, the engine selection --
+and exposes request methods (:meth:`~Session.infer`,
+:meth:`~Session.define`, :meth:`~Session.elaborate`,
+:meth:`~Session.derive`, :meth:`~Session.evaluate`,
+:meth:`~Session.run_program`, :meth:`~Session.check`) that all return a
+structured :class:`Result` carrying either a payload or a list of
+:class:`~repro.diagnostics.Diagnostic` records.  **Exceptions never
+cross this boundary**: every :class:`~repro.errors.FreezeMLError` is
+converted to a diagnostic with an error code and, where the parser's
+span table can locate the offending subterm, a source span.
+
+Engines
+-------
+
+``engine`` selects which type system answers the request:
+
+* ``"freezeml"`` -- the paper's Figure 16 inference (default); honours
+  ``strategy`` (variable/eliminator instantiation) and
+  ``value_restriction``.
+* ``"hmf"``      -- the HMF baseline (Leijen 2008, our Figure 8 rival).
+* ``"ml"``       -- the mini-ML fragment (Figure 20/21); terms outside
+  the fragment are rejected with a diagnostic.
+* ``"systemf"``  -- elaborate to System F (Figure 11) and re-check the
+  image with the Figure 18 typechecker (the Theorem 3 cross-check).
+
+Batch workloads
+---------------
+
+:meth:`Session.check_many` types a list of programs with per-program
+isolation: each program runs in a fork of the session (fresh solver
+state and name supply per run, private environment extension) over the
+shared prelude, so results are independent of submission order and no
+state leaks between programs.  This is the serving-style entrypoint the
+``python -m repro check`` subcommand and the corpus machinery build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .baselines.hmf import hmf_infer_type
+from .core.derivation import derive as _derive
+from .core.env import TypeEnv
+from .core.infer import (
+    ELIMINATOR,
+    VARIABLE,
+    Inferencer,
+    infer_raw,
+    normalise_type,
+)
+from .core.kinds import Kind, KindEnv
+from .core.terms import FrozenVar, Let, Term
+from .core.types import TCon, TForall, TVar, Type, ftv, rename
+from .corpus.signatures import prelude
+from .diagnostics import Diagnostic, Span, diagnostic_from_error
+from .errors import FreezeMLError, MLTypeError
+from .extensions.toplevel import desugar_program, parse_program
+from .ml.syntax import is_ml_term
+from .ml.typecheck import ml_infer_type
+from .names import display_names
+from .semantics import eval_freezeml, value_prelude
+from .semantics.values import show_value
+from .syntax.parser import SpanTable, parse_term_spanned
+from .syntax.pretty import pretty_type
+from .systemf.typecheck import typecheck_f
+from .translate import elaborate as _elaborate
+
+ENGINES = ("freezeml", "hmf", "ml", "systemf")
+
+STRATEGY_ALIASES = {
+    "v": VARIABLE,
+    "variable": VARIABLE,
+    "e": ELIMINATOR,
+    "eliminator": ELIMINATOR,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Result:
+    """The outcome of one session request.
+
+    ``ok`` distinguishes success from failure; on failure ``diagnostics``
+    is non-empty and the payload fields are unset.  ``value`` holds the
+    request's raw payload (a runtime value, a derivation tree, an
+    :class:`~repro.translate.freezeml_to_f.ElaborationResult`, ...),
+    ``ty``/``type_str`` the inferred type where the request produces one,
+    and ``rendered`` a one-stop human-readable rendering.
+    """
+
+    request: str
+    ok: bool
+    source: str = ""
+    engine: str = "freezeml"
+    rendered: str = ""
+    ty: Type | None = None
+    type_str: str = ""
+    value: Any = field(default=None, compare=False)
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by ``python -m repro check --json``)."""
+        return {
+            "request": self.request,
+            "engine": self.engine,
+            "ok": self.ok,
+            "source": self.source,
+            "type": self.type_str or None,
+            "rendered": self.rendered,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def _located_inferencer(spans: SpanTable | None) -> type[Inferencer]:
+    """An :class:`Inferencer` whose failures carry the span of the
+    innermost located subterm (the first frame the exception crosses)."""
+    if spans is None:
+        return Inferencer
+
+    class _Located(Inferencer):
+        def infer_node(self, delta, gamma, term):
+            try:
+                return super().infer_node(delta, gamma, term)
+            except FreezeMLError as exc:
+                if exc.span is None:
+                    span = spans.get(term)
+                    if span is not None:
+                        exc.span = span
+                raise
+
+    return _Located
+
+
+def _collect_type_names(ty: Type, acc: set) -> None:
+    """All variable names occurring in ``ty`` (free and bound)."""
+    if isinstance(ty, TVar):
+        acc.add(ty.name)
+    elif isinstance(ty, TCon):
+        for arg in ty.args:
+            _collect_type_names(arg, acc)
+    elif isinstance(ty, TForall):
+        acc.add(ty.var)
+        _collect_type_names(ty.body, acc)
+
+
+def _is_program(source: str) -> bool:
+    """Does ``source`` use the ``sig``/``def``/``main`` program format?"""
+    for raw in source.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        head = line.split(None, 1)[0]
+        if head in ("sig", "def") or head == "main" or head.startswith("main="):
+            return True
+        return False
+    return False
+
+
+class Session:
+    """Interpreter state plus a guarded request interface.
+
+    A session is cheap to construct and cheap to :meth:`fork`; forks
+    share the immutable prelude but extend privately, which is what
+    gives :meth:`check_many` its per-program isolation.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: str = "freezeml",
+        strategy: str = VARIABLE,
+        value_restriction: bool = True,
+        env: TypeEnv | None = None,
+        values: dict | None = None,
+    ):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (one of {ENGINES})")
+        self.engine = engine
+        self.strategy = STRATEGY_ALIASES.get(strategy, strategy)
+        if self.strategy not in (VARIABLE, ELIMINATOR):
+            raise ValueError(f"unknown instantiation strategy: {strategy!r}")
+        self.value_restriction = value_restriction
+        self.env = env if env is not None else prelude()
+        self.values = values if values is not None else value_prelude()
+        #: user-added top-level bindings, name -> pretty type (REPL ``:env``)
+        self.bindings: dict[str, str] = {}
+        #: session-level rigid type variables (``Delta``): residual
+        #: monomorphic variables of value-restricted definitions are
+        #: *fixed* here so the environment stays well-formed (see
+        #: :meth:`define`).
+        self.delta: KindEnv = KindEnv.empty()
+
+    def fork(self) -> "Session":
+        """An isolated copy: shares the prelude, extends privately."""
+        child = Session.__new__(Session)
+        child.engine = self.engine
+        child.strategy = self.strategy
+        child.value_restriction = self.value_restriction
+        child.env = self.env  # TypeEnv extension is persistent/immutable
+        child.values = dict(self.values)
+        child.bindings = dict(self.bindings)
+        child.delta = self.delta
+        return child
+
+    def set_strategy(self, strategy: str) -> str:
+        """Switch instantiation strategy (accepts ``v``/``e`` aliases)."""
+        resolved = STRATEGY_ALIASES.get(strategy, strategy)
+        if resolved not in (VARIABLE, ELIMINATOR):
+            raise ValueError(f"unknown instantiation strategy: {strategy!r}")
+        self.strategy = resolved
+        return resolved
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _parse(self, source: str | Term) -> tuple[Term, SpanTable | None]:
+        if isinstance(source, Term):
+            return source, None
+        return parse_term_spanned(source)
+
+    def _fail(self, request: str, source: str, exc: BaseException) -> Result:
+        diag = diagnostic_from_error(
+            exc, fallback_span=Span.whole_source(source) if source else None
+        )
+        return Result(
+            request=request,
+            ok=False,
+            source=source,
+            engine=self.engine,
+            diagnostics=(diag,),
+        )
+
+    def _infer_term(
+        self, term: Term, spans: SpanTable | None, engine: str
+    ) -> tuple[Type, str]:
+        """Engine dispatch; returns the (display-normalised) type and its
+        pretty rendering.  Raises :class:`FreezeMLError` on failure."""
+        if engine == "freezeml":
+            result = infer_raw(
+                term,
+                self.env,
+                self.delta,
+                strategy=self.strategy,
+                value_restriction=self.value_restriction,
+                inferencer_factory=_located_inferencer(spans),
+            )
+            ty = normalise_type(result.ty)
+        elif engine == "hmf":
+            ty = normalise_type(hmf_infer_type(term, self.env))
+        elif engine == "ml":
+            if not is_ml_term(term):
+                raise MLTypeError(
+                    f"`{term}` is outside the mini-ML fragment "
+                    "(no freezing, no annotations)"
+                )
+            ty = normalise_type(ml_infer_type(term, self.env))
+        elif engine == "systemf":
+            elab = _elaborate(
+                term,
+                self.env,
+                self.delta,
+                strategy=self.strategy,
+                value_restriction=self.value_restriction,
+            )
+            # Theorem 3 cross-check: the System F image typechecks at the
+            # FreezeML type, residual flexible variables read as rigid.
+            ty = normalise_type(
+                typecheck_f(elab.fterm, self.env, self.delta.concat(elab.residual))
+            )
+        else:  # pragma: no cover - constructor validates
+            raise ValueError(f"unknown engine {engine!r}")
+        return ty, pretty_type(ty)
+
+    # -- requests -----------------------------------------------------------
+
+    def infer(self, source: str | Term, *, engine: str | None = None) -> Result:
+        """Infer the principal type of a term under the session engine."""
+        engine = engine or self.engine
+        text = source if isinstance(source, str) else str(source)
+        try:
+            term, spans = self._parse(source)
+            ty, shown = self._infer_term(term, spans, engine)
+        except FreezeMLError as exc:
+            return self._fail("infer", text, exc)
+        return Result(
+            request="infer",
+            ok=True,
+            source=text,
+            engine=engine,
+            rendered=shown,
+            ty=ty,
+            type_str=shown,
+        )
+
+    def _definition_type(
+        self, name: str, term: Term, spans: SpanTable | None, engine: str
+    ) -> Type:
+        """The generalised type a top-level ``let name = term`` gives
+        ``name`` under ``engine``, *un-normalised*: free flexible
+        variables keep their machine names (``%N``) so :meth:`define`
+        can tell residual flexibles from session ``Delta`` variables.
+        Raises :class:`FreezeMLError`."""
+        if engine == "freezeml":
+            # Faithful to the paper: the definition's type is the type of
+            # the frozen variable in `let name = term in ~name`.
+            probe = Let(name, term, FrozenVar(name))
+            result = infer_raw(
+                probe,
+                self.env,
+                self.delta,
+                strategy=self.strategy,
+                value_restriction=self.value_restriction,
+                inferencer_factory=_located_inferencer(spans),
+            )
+            return result.ty
+        if engine == "ml":
+            if not is_ml_term(term):
+                raise MLTypeError(
+                    f"`{term}` is outside the mini-ML fragment "
+                    "(no freezing, no annotations)"
+                )
+            return ml_infer_type(term, self.env, generalise_top=True)
+        # hmf generalises everywhere; systemf re-checks the image.
+        ty, _shown = self._infer_term(term, spans, engine)
+        return ty
+
+    def infer_definition(
+        self, name: str, source: str | Term, *, engine: str | None = None
+    ) -> Result:
+        """The type a top-level definition would get -- type only: nothing
+        is evaluated and the session environment is not extended."""
+        engine = engine or self.engine
+        text = source if isinstance(source, str) else str(source)
+        try:
+            term, spans = self._parse(source)
+            ty = normalise_type(self._definition_type(name, term, spans, engine))
+        except FreezeMLError as exc:
+            return self._fail("infer_definition", text, exc)
+        shown = pretty_type(ty)
+        return Result(
+            request="infer_definition",
+            ok=True,
+            source=text,
+            engine=engine,
+            rendered=f"{name} : {shown}",
+            ty=ty,
+            type_str=shown,
+        )
+
+    def _fix_residual_vars(self, ty: Type) -> Type:
+        """Close a definition type over its free type variables.
+
+        A value-restricted binding (``let c = choose id``) keeps
+        monomorphic variables free in its type.  Storing such a type
+        as-is would make the environment ill-formed and poison every
+        later request.  Following the OCaml treatment of weak variables
+        at a module boundary, the residual variables are *fixed*: renamed
+        to fresh display names and declared rigid in the session's
+        ``Delta``, so the environment stays well-formed (the variables
+        can no longer be instantiated -- re-define with an annotation or
+        a generalisable body to choose their types).
+        """
+        # Machine names (%N flexibles, !skolems) are this run's residual
+        # variables; display-named frees are session Delta variables from
+        # the environment and must keep their identity.
+        free = [v for v in ftv(ty) if v[0] in "%!" and v not in self.delta]
+        if not free:
+            return ty
+        avoid = set(self.delta.names()) | self.env.free_type_vars()
+        _collect_type_names(ty, avoid)
+        supply = display_names(avoid)
+        mapping = {v: next(supply) for v in free}
+        self.delta = self.delta.extend_all(mapping.values(), Kind.MONO)
+        return rename(ty, mapping)
+
+    def define(
+        self, name: str, source: str | Term, *, engine: str | None = None
+    ) -> Result:
+        """Add a top-level binding ``let name = term`` (generalising let).
+
+        Extends both the type and the value environment on success; on
+        failure the session is left untouched.  Free type variables of a
+        non-generalisable definition become rigid session variables (see
+        :meth:`_fix_residual_vars`).
+        """
+        engine = engine or self.engine
+        text = source if isinstance(source, str) else str(source)
+        try:
+            term, spans = self._parse(source)
+            ty = self._definition_type(name, term, spans, engine)
+            value = eval_freezeml(term, dict(self.values))
+        except FreezeMLError as exc:
+            return self._fail("define", text, exc)
+        ty = normalise_type(self._fix_residual_vars(ty))
+        shown = pretty_type(ty)
+        self.env = self.env.extend(name, ty)
+        self.values[name] = value
+        self.bindings[name] = shown
+        return Result(
+            request="define",
+            ok=True,
+            source=text,
+            engine=engine,
+            rendered=f"{name} : {shown}",
+            ty=ty,
+            type_str=shown,
+            value=value,
+        )
+
+    def elaborate(self, source: str | Term) -> Result:
+        """Elaborate to System F (Figure 11); payload is the
+        :class:`~repro.translate.freezeml_to_f.ElaborationResult`."""
+        text = source if isinstance(source, str) else str(source)
+        try:
+            term, _spans = self._parse(source)
+            elab = _elaborate(
+                term,
+                self.env,
+                self.delta,
+                strategy=self.strategy,
+                value_restriction=self.value_restriction,
+            )
+        except FreezeMLError as exc:
+            return self._fail("elaborate", text, exc)
+        ty = normalise_type(elab.ty)
+        shown = pretty_type(ty)
+        return Result(
+            request="elaborate",
+            ok=True,
+            source=text,
+            engine=self.engine,
+            rendered=f"{elab.fterm} : {shown}",
+            ty=ty,
+            type_str=shown,
+            value=elab,
+        )
+
+    def derive(self, source: str | Term) -> Result:
+        """Build the full Figure 7 typing derivation; payload is the
+        :class:`~repro.core.derivation.Derivation` tree."""
+        text = source if isinstance(source, str) else str(source)
+        try:
+            term, _spans = self._parse(source)
+            deriv, _theta = _derive(
+                term,
+                self.env,
+                self.delta,
+                strategy=self.strategy,
+                value_restriction=self.value_restriction,
+            )
+        except FreezeMLError as exc:
+            return self._fail("derive", text, exc)
+        ty = normalise_type(deriv.ty)
+        shown = pretty_type(ty)
+        return Result(
+            request="derive",
+            ok=True,
+            source=text,
+            engine=self.engine,
+            rendered=deriv.pretty(indent=1),
+            ty=ty,
+            type_str=shown,
+            value=deriv,
+        )
+
+    def evaluate(self, source: str | Term) -> Result:
+        """Evaluate under the CBV semantics (type erasure)."""
+        text = source if isinstance(source, str) else str(source)
+        try:
+            term, _spans = self._parse(source)
+            value = eval_freezeml(term, dict(self.values))
+        except FreezeMLError as exc:
+            return self._fail("evaluate", text, exc)
+        return Result(
+            request="evaluate",
+            ok=True,
+            source=text,
+            engine=self.engine,
+            rendered=show_value(value),
+            value=value,
+        )
+
+    def run_program(self, source: str) -> Result:
+        """Type and run a ``sig``/``def``/``main`` program (Section 6).
+
+        The program desugars to nested (annotated) lets around ``main``;
+        the result carries both the program type and the value of
+        ``main``.
+        """
+        try:
+            definitions, main = parse_program(source)
+            term = desugar_program(definitions, main)
+            ty, shown = self._infer_term(term, None, self.engine)
+            value = eval_freezeml(term, dict(self.values))
+        except FreezeMLError as exc:
+            return self._fail("run_program", source, exc)
+        return Result(
+            request="run_program",
+            ok=True,
+            source=source,
+            engine=self.engine,
+            rendered=f"{show_value(value)} : {shown}",
+            ty=ty,
+            type_str=shown,
+            value=value,
+        )
+
+    # -- batch / serving ----------------------------------------------------
+
+    def check(self, source: str) -> Result:
+        """Typecheck one program: a bare term, or the program format
+        (auto-detected).  Type only -- nothing is evaluated."""
+        if _is_program(source):
+            try:
+                definitions, main = parse_program(source)
+                term = desugar_program(definitions, main)
+                spans: SpanTable | None = None
+            except FreezeMLError as exc:
+                return self._fail("check", source, exc)
+        else:
+            try:
+                term, spans = self._parse(source)
+            except FreezeMLError as exc:
+                return self._fail("check", source, exc)
+        try:
+            ty, shown = self._infer_term(term, spans, self.engine)
+        except FreezeMLError as exc:
+            return self._fail("check", source, exc)
+        return Result(
+            request="check",
+            ok=True,
+            source=source,
+            engine=self.engine,
+            rendered=shown,
+            ty=ty,
+            type_str=shown,
+        )
+
+    def check_many(self, sources: Iterable[str]) -> list[Result]:
+        """Typecheck many programs with per-program isolation.
+
+        Each program is checked in a :meth:`fork` of this session: fresh
+        solver state and name supply (one per inference run), a private
+        environment, shared prelude.  Results come back in input order.
+        """
+        return [self.fork().check(source) for source in sources]
+
+    def typechecks(self, source: str | Term, *, engine: str | None = None) -> bool:
+        """Boolean convenience over :meth:`infer` (corpus/verdict use)."""
+        return self.infer(source, engine=engine).ok
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(engine={self.engine!r}, strategy={self.strategy!r}, "
+            f"bindings={len(self.bindings)})"
+        )
+
+
+def check_programs(
+    sources: Sequence[str],
+    *,
+    engine: str = "freezeml",
+    strategy: str = VARIABLE,
+    value_restriction: bool = True,
+) -> list[Result]:
+    """One-shot batch check: a fresh prelude session over ``sources``."""
+    session = Session(
+        engine=engine, strategy=strategy, value_restriction=value_restriction
+    )
+    return session.check_many(sources)
+
+
+__all__ = [
+    "ENGINES",
+    "Result",
+    "Session",
+    "check_programs",
+]

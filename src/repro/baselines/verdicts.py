@@ -63,3 +63,40 @@ UNANNOTATED_SOURCES: dict[str, str] = {
     "B1": "fun f -> (f 1, f true)",
     "B2": "fun xs -> poly (head xs)",
 }
+
+
+def measured_failures(regime: str, *, engine: str = "freezeml") -> list[str]:
+    """Measure which of the 32 A-E examples ``engine`` fails under a regime.
+
+    This is the measured column of Table 1, routed through
+    :class:`repro.api.Session` -- one isolated session per attempt, over
+    the example's environment -- so the verdicts exercise exactly the
+    code path every other consumer uses.  Under ``nothing``, examples
+    whose Figure 1 form *adds* a binder annotation (B1, B2) are attempted
+    from their original unannotated sources; under ``binders``/``terms``
+    an example passes if any of its Figure 1 variants typechecks.
+    """
+    if regime not in REGIMES:
+        raise ValueError(f"unknown regime {regime!r} (one of {REGIMES})")
+    from ..api import Session
+    from ..corpus.examples import EXAMPLES
+
+    failures = []
+    for base_id in SECTION_AE_IDS:
+        variants = [
+            x
+            for x in EXAMPLES
+            if (x.id == base_id or x.id == base_id + "*") and x.flag != "no-vr"
+        ]
+        assert variants, base_id
+        if regime == "nothing" and base_id in UNANNOTATED_SOURCES:
+            session = Session(engine=engine, env=variants[0].env())
+            ok = session.infer(UNANNOTATED_SOURCES[base_id]).ok
+        else:
+            ok = any(
+                Session(engine=engine, env=v.env()).infer(v.term()).ok
+                for v in variants
+            )
+        if not ok:
+            failures.append(base_id)
+    return failures

@@ -1,6 +1,11 @@
-"""An interactive FreezeML REPL (``python -m repro``).
+"""The command-line surface of the reproduction (``python -m repro``).
 
-Commands::
+Everything here is a thin client of :class:`repro.api.Session`: the REPL,
+the ``-c`` one-shot mode and the ``check`` subcommand all issue session
+requests and render the structured :class:`~repro.api.Result` they get
+back.  No type-system code runs in this module.
+
+REPL commands::
 
     <term>            infer and print the principal type
     :run <term>       evaluate (CBV, type erasure)
@@ -12,9 +17,22 @@ Commands::
     :strategy v|e     switch variable/eliminator instantiation
     :help, :quit
 
-The REPL starts with the paper's Figure 2 prelude in scope.
+The REPL starts with the paper's Figure 2 prelude in scope.  One-shot
+mode (``python -m repro -c "<line>" ...``) feeds each argument to the
+same dispatcher and exits nonzero if any line produced an error.
 
 Subcommands::
+
+    python -m repro check FILE... [--json] [--engine=ENGINE]
+                                  [--strategy=v|e] [--no-value-restriction]
+
+typechecks each file (a bare term, or the ``sig``/``def``/``main``
+program format -- auto-detected) through a batch
+:meth:`~repro.api.Session.check_many` call with per-program isolation.
+``--engine`` selects the type system (``freezeml``, ``hmf``, ``ml``,
+``systemf``); ``--json`` emits machine-readable diagnostics (error
+codes, severities, ``line:column`` spans, offending types) on stdout.
+Exit status: 0 all programs typecheck, 1 some failed, 2 usage error.
 
     python -m repro bench [--quick] [--all] [--output=FILE]
 
@@ -27,17 +45,11 @@ module, not just the perf-critical three.
 
 from __future__ import annotations
 
+import json
 import sys
 
-from .core.derivation import derive
-from .core.infer import ELIMINATOR, VARIABLE, infer_definition, infer_type
-from .corpus.signatures import prelude
-from .errors import FreezeMLError
-from .semantics import eval_freezeml, value_prelude
-from .semantics.values import show_value
-from .syntax.parser import parse_term
-from .syntax.pretty import pretty_type
-from .translate import elaborate
+from .api import Result, Session
+from .diagnostics import render_all
 
 BANNER = (
     "FreezeML repl -- PLDI 2020 reproduction.  :help for commands, :quit to exit."
@@ -46,14 +58,17 @@ PROMPT = "freezeml> "
 
 
 class Repl:
-    """State and command dispatch for the REPL."""
+    """Command dispatch over a :class:`~repro.api.Session`.
 
-    def __init__(self, out=None):
+    The REPL holds no interpreter state of its own: bindings, strategy
+    and environments live in the session; this class only parses command
+    lines and renders results.
+    """
+
+    def __init__(self, out=None, session: Session | None = None):
         self.out = out or sys.stdout
-        self.env = prelude()
-        self.values = value_prelude()
-        self.user_bindings: dict[str, str] = {}
-        self.strategy = VARIABLE
+        self.session = session or Session()
+        self.error_count = 0
 
     def emit(self, text: str) -> None:
         print(text, file=self.out)
@@ -65,90 +80,154 @@ class Repl:
         line = line.strip()
         if not line or line.startswith("#"):
             return True
-        try:
-            if line in (":quit", ":q"):
-                return False
-            if line in (":help", ":h"):
-                self.emit(__doc__.split("Commands::")[1])
-            elif line == ":env":
-                self._show_env()
-            elif line.startswith(":strategy"):
-                self._set_strategy(line.split(None, 1)[1:])
-            elif line.startswith(":run "):
-                self._run(line[5:])
-            elif line.startswith(":f "):
-                self._elaborate(line[3:])
-            elif line.startswith(":derive "):
-                self._derive(line[8:])
-            elif line.startswith(":hmf "):
-                self._hmf(line[5:])
-            elif line.startswith(":let "):
-                self._define(line[5:])
-            elif line.startswith(":"):
-                self.emit(f"unknown command {line.split()[0]} (:help)")
-            else:
-                self._infer(line)
-        except FreezeMLError as exc:
-            self.emit(f"error: {exc}")
+        if line in (":quit", ":q"):
+            return False
+        if line in (":help", ":h"):
+            self.emit(__doc__.split("REPL commands::")[1].split("The REPL starts")[0])
+        elif line == ":env":
+            self._show_env()
+        elif line.startswith(":strategy"):
+            self._set_strategy(line.split(None, 1)[1:])
+        elif line.startswith(":run "):
+            self._render(self.session.evaluate(line[5:]), "  = {rendered}")
+        elif line.startswith(":f "):
+            self._elaborate(line[3:])
+        elif line.startswith(":derive "):
+            self._render(self.session.derive(line[8:]), "{rendered}")
+        elif line.startswith(":hmf "):
+            self._render(
+                self.session.infer(line[5:], engine="hmf"), "  (HMF) : {rendered}"
+            )
+        elif line.startswith(":let "):
+            self._define(line[5:])
+        elif line.startswith(":"):
+            self.error_count += 1
+            self.emit(f"unknown command {line.split()[0]} (:help)")
+        else:
+            self._render(self.session.infer(line), "  : {rendered}")
         return True
 
-    # -- implementations ------------------------------------------------------
+    # -- rendering ------------------------------------------------------------
 
-    def _infer(self, source: str) -> None:
-        ty = infer_type(parse_term(source), self.env, strategy=self.strategy)
-        self.emit(f"  : {pretty_type(ty)}")
+    def _render(self, result: Result, template: str) -> None:
+        if result.ok:
+            self.emit(template.format(rendered=result.rendered))
+        else:
+            self._report(result)
 
-    def _run(self, source: str) -> None:
-        value = eval_freezeml(parse_term(source), dict(self.values))
-        self.emit(f"  = {show_value(value)}")
+    def _report(self, result: Result) -> None:
+        self.error_count += 1
+        for diag in result.diagnostics:
+            where = f" at {diag.span}" if diag.span is not None else ""
+            self.emit(f"error: {diag.message} [{diag.code}{where}]")
 
     def _elaborate(self, source: str) -> None:
-        from .core.infer import normalise_type
-
-        result = elaborate(parse_term(source), self.env, strategy=self.strategy)
-        self.emit(f"  C[[-]] = {result.fterm}")
-        self.emit(f"  :      {pretty_type(normalise_type(result.ty))}")
-
-    def _derive(self, source: str) -> None:
-        deriv, _theta = derive(parse_term(source), self.env)
-        self.emit(deriv.pretty(indent=1))
-
-    def _hmf(self, source: str) -> None:
-        from .baselines.hmf import hmf_infer_type
-
-        ty = hmf_infer_type(parse_term(source), self.env)
-        self.emit(f"  (HMF) : {pretty_type(ty)}")
+        result = self.session.elaborate(source)
+        if not result.ok:
+            self._report(result)
+            return
+        self.emit(f"  C[[-]] = {result.value.fterm}")
+        self.emit(f"  :      {result.type_str}")
 
     def _define(self, rest: str) -> None:
         name, eq, body = rest.partition("=")
         name = name.strip()
         if not eq or not name.isidentifier():
+            self.error_count += 1
             self.emit("usage: :let x = <term>")
             return
-        term = parse_term(body.strip())
-        ty = infer_definition(name, term, self.env, strategy=self.strategy)
-        self.env = self.env.extend(name, ty)
-        self.values[name] = eval_freezeml(term, dict(self.values))
-        self.user_bindings[name] = pretty_type(ty)
-        self.emit(f"  {name} : {pretty_type(ty)}")
+        self._render(self.session.define(name, body.strip()), "  {rendered}")
 
     def _show_env(self) -> None:
-        if not self.user_bindings:
+        if not self.session.bindings:
             self.emit("  (only the Figure 2 prelude)")
-        for name, ty in self.user_bindings.items():
+        for name, ty in self.session.bindings.items():
             self.emit(f"  {name} : {ty}")
 
     def _set_strategy(self, args: list[str]) -> None:
         choice = args[0].strip().lower() if args else ""
-        if choice in ("v", "variable"):
-            self.strategy = VARIABLE
-        elif choice in ("e", "eliminator"):
-            self.strategy = ELIMINATOR
-        else:
+        try:
+            resolved = self.session.set_strategy(choice)
+        except ValueError:
+            self.error_count += 1
             self.emit("usage: :strategy v|e")
             return
-        self.emit(f"  instantiation strategy: {self.strategy}")
+        self.emit(f"  instantiation strategy: {resolved}")
 
+
+# ---------------------------------------------------------------------------
+# The `check` subcommand
+# ---------------------------------------------------------------------------
+
+
+def run_check(argv: list[str]) -> int:
+    """``python -m repro check FILE... [--json] [--engine=...]``."""
+    files: list[str] = []
+    as_json = False
+    engine = "freezeml"
+    strategy = "variable"
+    value_restriction = True
+    for arg in argv:
+        if arg == "--json":
+            as_json = True
+        elif arg.startswith("--engine="):
+            engine = arg.split("=", 1)[1]
+        elif arg.startswith("--strategy="):
+            strategy = arg.split("=", 1)[1]
+        elif arg == "--no-value-restriction":
+            value_restriction = False
+        elif arg.startswith("-"):
+            print(f"error: unknown check option {arg}", file=sys.stderr)
+            return 2
+        else:
+            files.append(arg)
+    if not files:
+        print(
+            "usage: python -m repro check FILE... [--json] [--engine=ENGINE] "
+            "[--strategy=v|e] [--no-value-restriction]",
+            file=sys.stderr,
+        )
+        return 2
+    sources: list[str] = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                sources.append(handle.read())
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        session = Session(
+            engine=engine, strategy=strategy, value_restriction=value_restriction
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = session.check_many(sources)
+
+    if as_json:
+        payload = {
+            "engine": engine,
+            "programs": [
+                {"file": path, **result.to_dict()}
+                for path, result in zip(files, results)
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for path, result in zip(files, results):
+            if result.ok:
+                print(f"{path}: ok: {result.type_str}")
+            else:
+                for line in render_all(result.diagnostics, file=path):
+                    print(line)
+    return 0 if all(result.ok for result in results) else 1
+
+
+# ---------------------------------------------------------------------------
+# The `bench` subcommand
+# ---------------------------------------------------------------------------
 
 BENCH_DEFAULT_SUITES = (
     "benchmarks/bench_solver.py",
@@ -233,11 +312,13 @@ def run_bench(argv: list[str]) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: interactive loop, `-c "term"` one-shot mode, or the
-    ``bench`` subcommand."""
+    """Entry point: interactive loop, ``-c "line"`` one-shot mode, or the
+    ``check``/``bench`` subcommands."""
     argv = sys.argv[1:] if argv is None else argv
     if argv[:1] == ["bench"]:
         return run_bench(argv[1:])
+    if argv[:1] == ["check"]:
+        return run_check(argv[1:])
     repl = Repl()
     if argv[:1] == ["-c"]:
         for chunk in argv[1:]:
@@ -245,7 +326,7 @@ def main(argv: list[str] | None = None) -> int:
                 continue
             if not repl.handle(chunk):
                 break
-        return 0
+        return 1 if repl.error_count else 0
     print(BANNER)
     while True:
         try:

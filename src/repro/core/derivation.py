@@ -54,6 +54,8 @@ from ..errors import FreezeMLError
 class InvalidDerivation(FreezeMLError):
     """A derivation failed a Figure 7 premise."""
 
+    code = "FML210"
+
 
 @dataclass(frozen=True)
 class Derivation:

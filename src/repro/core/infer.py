@@ -432,6 +432,8 @@ def infer_raw(
     env: TypeEnv | None = None,
     delta: KindEnv | None = None,
     theta: KindEnv | None = None,
+    *,
+    inferencer_factory: type[Inferencer] | None = None,
     **options,
 ) -> InferenceResult:
     """Run inference and return the raw result (env, subst, type, payload).
@@ -440,11 +442,15 @@ def infer_raw(
     first, as the paper's theorems require.  The returned type is fully
     zonked; ``result.subst``/``result.theta_env`` are lazy views over the
     solver store.
+
+    ``inferencer_factory`` substitutes an :class:`Inferencer` subclass (or
+    any callable accepting the same options); ``repro.api`` uses it to
+    wrap ``infer_node`` with source-span attachment for diagnostics.
     """
     env = env or TypeEnv.empty()
     delta = delta or KindEnv.empty()
     theta = theta or KindEnv.empty()
-    inferencer = Inferencer(**options)
+    inferencer = (inferencer_factory or Inferencer)(**options)
     well_scoped(delta, term)
     env_well_formed(delta.concat(theta), env)
     solver = inferencer.solver

@@ -5,11 +5,26 @@ free variables, in first-occurrence order, to a canonical sequence.  This
 matches how Figure 1 reports types: free (flexible) variables are shown
 with arbitrary letters (``choose id : (a -> a) -> (a -> a)``), while
 quantifier order is significant.
+
+The verdict machinery (:func:`check_example`, :func:`corpus_verdicts`)
+routes every corpus attempt through :class:`repro.api.Session` -- the
+same guarded code path the REPL, the ``check`` subcommand and the batch
+entrypoint use -- so a corpus run exercises exactly what a user-facing
+request does, and failures come back as structured diagnostics rather
+than raised exceptions.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
 from ..core.types import Type, alpha_equal, ftv, rename
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports corpus)
+    from ..api import Result, Session
+    from ..diagnostics import Diagnostic
+    from .examples import Example
 
 
 def canonicalise_free(ty: Type) -> Type:
@@ -21,3 +36,94 @@ def canonicalise_free(ty: Type) -> Type:
 def equivalent_types(left: Type, right: Type) -> bool:
     """Alpha-equality up to consistent renaming of free variables."""
     return alpha_equal(canonicalise_free(left), canonicalise_free(right))
+
+
+# ---------------------------------------------------------------------------
+# Session-routed corpus verdicts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExampleVerdict:
+    """The outcome of re-checking one Figure 1 example.
+
+    ``ok`` is whether inference succeeded; ``agrees`` whether the outcome
+    matches the paper's report (the expected type up to
+    :func:`equivalent_types`, or rejection where the paper shows ✕).
+    """
+
+    id: str
+    expected: str | None
+    ok: bool
+    inferred: Type | None
+    agrees: bool
+    diagnostics: tuple["Diagnostic", ...] = ()
+
+    def describe(self) -> str:
+        """One line for failure messages and reports."""
+        shown = str(self.inferred) if self.inferred is not None else "✕"
+        want = self.expected if self.expected is not None else "✕"
+        mark = "agrees" if self.agrees else "DISAGREES"
+        detail = "; ".join(d.render() for d in self.diagnostics)
+        tail = f" [{detail}]" if detail and not self.ok else ""
+        return f"{self.id}: expected {want}, got {shown} ({mark}){tail}"
+
+
+def _session_for(example: "Example", engine: str, strategy: str) -> "Session":
+    from ..api import Session
+
+    return Session(
+        engine=engine,
+        strategy=strategy,
+        value_restriction=example.flag != "no-vr",
+        env=example.env(),
+    )
+
+
+def check_example(
+    example: "Example", *, engine: str = "freezeml", strategy: str = "variable"
+) -> ExampleVerdict:
+    """Re-check one corpus example through the unified API.
+
+    Builds an isolated :class:`~repro.api.Session` over the example's
+    environment (its flag decides the value-restriction option, exactly
+    as Figure 1's ``†`` row demands) and issues the matching request:
+    ``definition``-mode examples go through the generalising
+    top-level-definition path, plain examples through ``infer``.
+    """
+    session = _session_for(example, engine, strategy)
+    result: "Result"
+    if example.mode == "definition":
+        result = session.infer_definition("it", example.term())
+    else:
+        result = session.infer(example.term())
+    expected = example.expected_type()
+    if expected is None:
+        agrees = not result.ok
+    else:
+        agrees = result.ok and equivalent_types(result.ty, expected)
+    return ExampleVerdict(
+        id=example.id,
+        expected=example.expected,
+        ok=result.ok,
+        inferred=result.ty,
+        agrees=agrees,
+        diagnostics=result.diagnostics,
+    )
+
+
+def corpus_verdicts(
+    examples: Iterable["Example"] | None = None,
+    *,
+    engine: str = "freezeml",
+    strategy: str = "variable",
+) -> list[ExampleVerdict]:
+    """Check a corpus (default: all of Figure 1) with per-example isolation."""
+    if examples is None:
+        from .examples import EXAMPLES
+
+        examples = EXAMPLES
+    return [
+        check_example(example, engine=engine, strategy=strategy)
+        for example in examples
+    ]

@@ -1,0 +1,200 @@
+"""Structured diagnostics: what went wrong, where, and with which types.
+
+The paper's algorithms are partial functions; the library models every
+failure mode as a :class:`~repro.errors.FreezeMLError` subclass.  This
+module is the presentation layer over that hierarchy: it turns a raised
+exception into a :class:`Diagnostic` -- a plain, serialisable record
+carrying a stable error ``code`` (declared on the exception class), a
+``severity``, the human-readable ``message``, the source :class:`Span`
+the error points at, and the pretty-printed offending types, when the
+exception carries any.
+
+Spans originate in the lexer (tokens know their start and end), flow
+through :class:`~repro.errors.ParseError` and the parser's side table of
+term spans (:func:`repro.syntax.parser.parse_term_spanned`), and are
+attached to inference errors by :class:`repro.api.Session` at the
+innermost located term that failed.  Exceptions never cross the
+``repro.api`` boundary; diagnostics do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import FreezeMLError, MonomorphismError, OccursCheckError, UnificationError
+
+
+class Severity(str, enum.Enum):
+    """How bad a diagnostic is.  (Errors today; the pipeline carries the
+    distinction so future lints/deprecations slot in without reshaping
+    consumers.)"""
+
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A half-open source region ``line:column .. end_line:end_column``
+    (1-based lines and columns, as editors count them)."""
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @staticmethod
+    def point(line: int, column: int) -> "Span":
+        return Span(line, column, line, column + 1)
+
+    @staticmethod
+    def whole_source(source: str) -> "Span":
+        """The span covering all of ``source`` (the fallback location)."""
+        lines = source.splitlines() or [""]
+        return Span(1, 1, len(lines), len(lines[-1]) + 1)
+
+    def cover(self, other: "Span") -> "Span":
+        """The smallest span containing both ``self`` and ``other``."""
+        start = min((self.line, self.column), (other.line, other.column))
+        end = max(
+            (self.end_line, self.end_column), (other.end_line, other.end_column)
+        )
+        return Span(start[0], start[1], end[0], end[1])
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "column": self.column,
+            "end_line": self.end_line,
+            "end_column": self.end_column,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One structured finding: code, severity, message, location, types.
+
+    ``types`` holds the pretty-printed offending types, outermost first
+    (e.g. the two sides of a failed unification); it is empty for errors
+    that carry none (parse errors, unbound variables, ...).
+    """
+
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    span: Span | None = None
+    types: tuple[str, ...] = ()
+    hint: str = ""
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def render(self, *, prefix: str = "") -> str:
+        """The one-line human rendering: ``error[FML102] at 1:5: ...``."""
+        where = f" at {self.span}" if self.span is not None else ""
+        hint = f" (hint: {self.hint})" if self.hint else ""
+        return f"{prefix}{self.severity}[{self.code}]{where}: {self.message}{hint}"
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "span": self.span.to_dict() if self.span is not None else None,
+            "types": list(self.types),
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+# ---------------------------------------------------------------------------
+# Exception -> Diagnostic
+# ---------------------------------------------------------------------------
+
+
+def _format_type(ty) -> str:
+    """Render a type (or type-like value) without importing the syntax
+    package at module load (``repro.syntax`` imports the parser, which
+    imports this module for :class:`Span`)."""
+    from .core.types import Type, format_type
+
+    if isinstance(ty, Type):
+        return format_type(ty)
+    return str(ty)
+
+
+def offending_types(exc: BaseException) -> tuple[str, ...]:
+    """The pretty-printed types an error is about, if it carries any."""
+    if isinstance(exc, OccursCheckError):
+        return (_format_type(exc.left), _format_type(exc.ty))
+    if isinstance(exc, MonomorphismError):
+        return (_format_type(exc.ty),)
+    if isinstance(exc, UnificationError):
+        return (_format_type(exc.left), _format_type(exc.right))
+    return ()
+
+
+def error_span(exc: BaseException) -> Span | None:
+    """The span an exception points at, if it was located.
+
+    ``FreezeMLError.span`` is authoritative; a :class:`ParseError` that
+    predates span attachment still knows its line/column fields, which
+    are widened into a point span.
+    """
+    span = getattr(exc, "span", None)
+    if span is not None:
+        return span
+    line = getattr(exc, "line", None)
+    if line is not None:
+        column = getattr(exc, "column", None) or 1
+        end_line = getattr(exc, "end_line", None)
+        end_column = getattr(exc, "end_column", None)
+        if end_line is not None and end_column is not None:
+            return Span(line, column, end_line, end_column)
+        return Span.point(line, column)
+    return None
+
+
+def diagnostic_from_error(
+    exc: BaseException, *, fallback_span: Span | None = None
+) -> Diagnostic:
+    """Build the :class:`Diagnostic` for a raised library error.
+
+    The error code comes from the exception class's ``code`` attribute
+    (every :class:`~repro.errors.FreezeMLError` subclass declares one);
+    unexpected exception types get the generic ``FML000``.
+    """
+    code = getattr(exc, "code", None) or FreezeMLError.code
+    span = error_span(exc)
+    # A located ParseError embeds its position in str(exc); the span
+    # carries it structurally, so prefer the bare message then.
+    message = getattr(exc, "raw_message", None) if span is not None else None
+    return Diagnostic(
+        code=code,
+        message=message or str(exc),
+        severity=Severity.ERROR,
+        span=span or fallback_span,
+        types=offending_types(exc),
+    )
+
+
+def render_all(diagnostics, *, file: str = "") -> list[str]:
+    """Human-readable lines for a batch of diagnostics (CLI output)."""
+    prefix = f"{file}:" if file else ""
+    lines = []
+    for diag in diagnostics:
+        where = f"{diag.span}: " if diag.span is not None else ""
+        lines.append(
+            f"{prefix}{where}{diag.severity}[{diag.code}]: {diag.message}"
+        )
+    return lines

@@ -4,6 +4,14 @@ Every failure mode of the paper's partial functions (kinding, unification,
 inference -- Figures 15 and 16 are explicitly partial) is modelled as an
 exception deriving from :class:`FreezeMLError`, so callers can catch the
 whole family or discriminate precisely in tests.
+
+Each class declares a stable ``code`` (``FML0xx`` surface syntax and
+scoping, ``FML1xx`` type inference, ``FML2xx`` backend typecheckers,
+``FML3xx`` runtime) and may carry a source ``span`` pointing at the
+offending region; :mod:`repro.diagnostics` turns a raised error into a
+structured :class:`~repro.diagnostics.Diagnostic` and the ``repro.api``
+session guarantees no exception from this hierarchy ever crosses the
+API boundary.
 """
 
 from __future__ import annotations
@@ -12,31 +20,61 @@ from __future__ import annotations
 class FreezeMLError(Exception):
     """Base class for all errors raised by this library."""
 
+    #: Stable machine-readable error code, overridden per class.
+    code = "FML000"
+
+    #: Source location (a :class:`repro.diagnostics.Span`) when known.
+    #: Attached after the fact by whoever holds location information --
+    #: the parser for syntax errors, the API session for type errors.
+    span = None
+
 
 class ParseError(FreezeMLError):
     """Raised by the lexer/parser on malformed surface syntax."""
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    code = "FML001"
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        end_line: int | None = None,
+        end_column: int | None = None,
+    ):
+        #: The bare message, without the location prefix (diagnostics
+        #: carry the location structurally in their span).
+        self.raw_message = message
         self.line = line
         self.column = column
+        self.end_line = end_line if end_line is not None else line
+        self.end_column = end_column
         location = f" at {line}:{column}" if line is not None else ""
         super().__init__(f"parse error{location}: {message}")
-
-
-class KindError(FreezeMLError):
-    """A type is ill-kinded (Figure 4 / Figure 12 rejected it)."""
 
 
 class ScopeError(FreezeMLError):
     """A term is not well-scoped (the judgement ``Delta |> M`` of Figure 9)."""
 
+    code = "FML002"
+
+
+class KindError(FreezeMLError):
+    """A type is ill-kinded (Figure 4 / Figure 12 rejected it)."""
+
+    code = "FML003"
+
 
 class TypeInferenceError(FreezeMLError):
     """Base class for failures of ``unify``/``infer`` (Figures 15, 16)."""
 
+    code = "FML100"
+
 
 class UnboundVariableError(TypeInferenceError):
     """A term variable has no binding in the type environment."""
+
+    code = "FML101"
 
     def __init__(self, name: str):
         self.name = name
@@ -46,6 +84,8 @@ class UnboundVariableError(TypeInferenceError):
 class UnificationError(TypeInferenceError):
     """Two types could not be unified."""
 
+    code = "FML102"
+
     def __init__(self, left, right, reason: str = ""):
         self.left = left
         self.right = right
@@ -54,15 +94,24 @@ class UnificationError(TypeInferenceError):
 
 
 class OccursCheckError(UnificationError):
-    """A flexible variable occurs in the type it would be bound to."""
+    """A flexible variable occurs in the type it would be bound to.
+
+    ``var`` is the variable *name* and ``ty`` the type it occurs in;
+    ``left``/``right`` hold the same information as types, consistent
+    with the :class:`UnificationError` contract.
+    """
+
+    code = "FML103"
 
     def __init__(self, var: str, ty):
+        from .core.types import TVar
+
         self.var = var
         self.ty = ty
         TypeInferenceError.__init__(
             self, f"occurs check failed: `{var}` occurs in `{ty}`"
         )
-        self.left = var
+        self.left = TVar(var)
         self.right = ty
 
 
@@ -73,6 +122,8 @@ class SkolemEscapeError(TypeInferenceError):
     ftv(theta)``) and by the annotated-let rule (``assert ftv(theta2) #
     Delta'``).
     """
+
+    code = "FML104"
 
     def __init__(self, var: str, context: str = ""):
         self.var = var
@@ -87,6 +138,8 @@ class MonomorphismError(TypeInferenceError):
     e.g. an unannotated lambda parameter used at a polymorphic type.
     """
 
+    code = "FML105"
+
     def __init__(self, var: str, ty):
         self.var = var
         self.ty = ty
@@ -99,14 +152,22 @@ class MonomorphismError(TypeInferenceError):
 class AnnotationError(TypeInferenceError):
     """An explicit type annotation did not match the inferred type."""
 
+    code = "FML106"
+
 
 class SystemFTypeError(FreezeMLError):
     """A System F term failed to typecheck (Figure 18)."""
+
+    code = "FML200"
 
 
 class MLTypeError(FreezeMLError):
     """A mini-ML term failed to typecheck (Figure 21)."""
 
+    code = "FML201"
+
 
 class EvaluationError(FreezeMLError):
     """Runtime failure in one of the evaluators (ill-typed program run)."""
+
+    code = "FML300"

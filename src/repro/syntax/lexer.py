@@ -46,6 +46,16 @@ class Token:
     line: int
     column: int
 
+    @property
+    def end_line(self) -> int:
+        """Line the token ends on (tokens never span lines)."""
+        return self.line
+
+    @property
+    def end_column(self) -> int:
+        """Column one past the last character of the token."""
+        return self.column + len(self.text)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({self.kind}, {self.text!r}@{self.line}:{self.column})"
 
@@ -59,10 +69,13 @@ def tokenize(source: str) -> list[Token]:
     while pos < len(source):
         match = _TOKEN_RE.match(source, pos)
         if match is None:
+            column = pos - line_start + 1
             raise ParseError(
                 f"unexpected character {source[pos]!r}",
                 line,
-                pos - line_start + 1,
+                column,
+                line,
+                column + 1,
             )
         kind = match.lastgroup
         text = match.group()

@@ -49,6 +49,7 @@ from ..core.terms import (
     instantiate,
 )
 from ..core.types import TCon, TForall, TVar, Type, constructor_arity, product
+from ..diagnostics import Span
 from ..errors import ParseError
 from .lexer import Token, tokenize
 
@@ -59,10 +60,39 @@ NIL = "[]"
 PAIR = "pair"
 
 
+class SpanTable:
+    """A side table mapping term nodes (by identity) to source spans.
+
+    Terms are immutable value-comparable dataclasses, so the table keys
+    on object identity: every node of one parse is a distinct object.
+    The table keeps the parsed root alive (``root``) so the identity
+    keys stay valid for its lifetime.
+    """
+
+    __slots__ = ("source", "root", "_spans")
+
+    def __init__(self, source: str):
+        self.source = source
+        self.root: Term | None = None
+        self._spans: dict[int, Span] = {}
+
+    def record(self, node: Term, span: Span) -> None:
+        # setdefault: inner productions note a node before outer ones
+        # re-return it, and the innermost (tightest) span should win.
+        self._spans.setdefault(id(node), span)
+
+    def get(self, node: Term) -> Span | None:
+        return self._spans.get(id(node))
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
 class _Parser:
-    def __init__(self, tokens: list[Token]):
+    def __init__(self, tokens: list[Token], spans: SpanTable | None = None):
         self.tokens = tokens
         self.pos = 0
+        self.spans = spans
 
     # -- plumbing -----------------------------------------------------------
 
@@ -82,6 +112,8 @@ class _Parser:
                 f"expected {kind}, found {token.kind} {token.text!r}",
                 token.line,
                 token.column,
+                token.end_line,
+                token.end_column,
             )
         return self.next()
 
@@ -96,7 +128,18 @@ class _Parser:
 
     def fail(self, message: str):
         token = self.peek()
-        raise ParseError(message, token.line, token.column)
+        raise ParseError(
+            message, token.line, token.column, token.end_line, token.end_column
+        )
+
+    def _note(self, node: Term, start: Token) -> Term:
+        """Record ``node``'s span: from ``start`` to the last consumed token."""
+        if self.spans is not None:
+            end = self.tokens[self.pos - 1] if self.pos else start
+            self.spans.record(
+                node, Span(start.line, start.column, end.end_line, end.end_column)
+            )
+        return node
 
     # -- terms ---------------------------------------------------------------
 
@@ -108,6 +151,7 @@ class _Parser:
         return self.cons()
 
     def lambda_(self) -> Term:
+        start = self.peek()
         self.expect("FUN")
         params: list[tuple[str, Type | None]] = [self.param()]
         while not self.at("ARROW"):
@@ -116,6 +160,7 @@ class _Parser:
         body = self.term()
         for name, ann in reversed(params):
             body = Lam(name, body) if ann is None else LamAnn(name, ann, body)
+            self._note(body, start)
         return body
 
     def param(self) -> tuple[str, Type | None]:
@@ -131,6 +176,7 @@ class _Parser:
         raise AssertionError  # pragma: no cover
 
     def let(self) -> Term:
+        start = self.peek()
         self.expect("LET")
         if self.eat("LPAREN"):
             name = self.expect("IDENT").text
@@ -141,33 +187,37 @@ class _Parser:
             bound = self.term()
             self.expect("IN")
             body = self.term()
-            return LetAnn(name, ann, bound, body)
+            return self._note(LetAnn(name, ann, bound, body), start)
         name = self.expect("IDENT").text
         self.expect("EQUALS")
         bound = self.term()
         self.expect("IN")
         body = self.term()
-        return Let(name, bound, body)
+        return self._note(Let(name, bound, body), start)
 
     def cons(self) -> Term:
+        start = self.peek()
         left = self.append()
         if self.eat("DCOLON"):
             right = self.cons()
-            return App(App(Var(CONS), left), right)
+            node = App(App(Var(CONS), left), right)
+            return self._note(node, start)
         return left
 
     def append(self) -> Term:
+        start = self.peek()
         left = self.sum()
         while self.eat("DPLUS"):
             right = self.sum()
-            left = App(App(Var(APPEND), left), right)
+            left = self._note(App(App(Var(APPEND), left), right), start)
         return left
 
     def sum(self) -> Term:
+        start = self.peek()
         left = self.app()
         while self.eat("PLUS"):
             right = self.app()
-            left = App(App(Var(PLUS), left), right)
+            left = self._note(App(App(Var(PLUS), left), right), start)
         return left
 
     _ATOM_START = {
@@ -183,45 +233,49 @@ class _Parser:
     }
 
     def app(self) -> Term:
+        start = self.peek()
         fn = self.postfix()
         while self.peek().kind in self._ATOM_START:
-            fn = App(fn, self.postfix())
+            fn = self._note(App(fn, self.postfix()), start)
         return fn
 
     def postfix(self) -> Term:
+        start = self.peek()
         term = self.atom()
         while self.eat("AT"):
-            term = instantiate(term)
+            term = self._note(instantiate(term), start)
         return term
 
     def atom(self) -> Term:
         token = self.peek()
         if token.kind == "IDENT":
-            return Var(self.next().text)
+            return self._note(Var(self.next().text), token)
         if token.kind == "INT":
-            return IntLit(int(self.next().text))
+            return self._note(IntLit(int(self.next().text)), token)
         if token.kind == "TRUE":
             self.next()
-            return BoolLit(True)
+            return self._note(BoolLit(True), token)
         if token.kind == "FALSE":
             self.next()
-            return BoolLit(False)
+            return self._note(BoolLit(False), token)
         if token.kind == "STRING":
             raw = self.next().text
-            return StrLit(raw[1:-1].replace('\\"', '"').replace("\\\\", "\\"))
+            return self._note(
+                StrLit(raw[1:-1].replace('\\"', '"').replace("\\\\", "\\")), token
+            )
         if token.kind == "TILDE":
             self.next()
-            return FrozenVar(self.expect("IDENT").text)
+            return self._note(FrozenVar(self.expect("IDENT").text), token)
         if token.kind == "DOLLAR":
             self.next()
-            return self.dollar()
+            return self._note(self.dollar(), token)
         if token.kind == "LPAREN":
             self.next()
             inner = self.term()
             if self.eat("COMMA"):
                 second = self.term()
                 self.expect("RPAREN")
-                return App(App(Var(PAIR), inner), second)
+                return self._note(App(App(Var(PAIR), inner), second), token)
             self.expect("RPAREN")
             return inner
         if token.kind == "LBRACKET":
@@ -235,7 +289,7 @@ class _Parser:
             result: Term = Var(NIL)
             for elem in reversed(elems):
                 result = App(App(Var(CONS), elem), result)
-            return result
+            return self._note(result, token)
         self.fail(f"expected a term, found {token.kind} {token.text!r}")
         raise AssertionError  # pragma: no cover
 
@@ -291,6 +345,8 @@ class _Parser:
                     f"unknown type constructor {token.text}",
                     token.line,
                     token.column,
+                    token.end_line,
+                    token.end_column,
                 )
             args = tuple(self.type_atom() for _ in range(arity))
             return TCon(token.text, args)
@@ -307,7 +363,11 @@ class _Parser:
             arity = constructor_arity(name)
             if arity is None:
                 raise ParseError(
-                    f"unknown type constructor {name}", token.line, token.column
+                    f"unknown type constructor {name}",
+                    token.line,
+                    token.column,
+                    token.end_line,
+                    token.end_column,
                 )
             if arity != 0:
                 raise ParseError(
@@ -315,6 +375,8 @@ class _Parser:
                     f"parenthesise the application",
                     token.line,
                     token.column,
+                    token.end_line,
+                    token.end_column,
                 )
             return TCon(name)
         if token.kind == "LPAREN":
@@ -332,6 +394,22 @@ def parse_term(source: str) -> Term:
     term = parser.term()
     parser.expect("EOF")
     return term
+
+
+def parse_term_spanned(source: str) -> tuple[Term, SpanTable]:
+    """Parse a term and return it with the side table of node spans.
+
+    Every node the parser builds is recorded against its source region,
+    so downstream consumers (the ``repro.api`` diagnostics pipeline) can
+    point errors at the offending subterm.  ``$``/``@`` sugar expansions
+    are located at the operator that introduced them.
+    """
+    spans = SpanTable(source)
+    parser = _Parser(tokenize(source), spans)
+    term = parser.term()
+    parser.expect("EOF")
+    spans.root = term
+    return term, spans
 
 
 def parse_type(source: str) -> Type:

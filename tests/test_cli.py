@@ -1,10 +1,13 @@
-"""REPL smoke tests (command dispatch, not terminal interaction)."""
+"""CLI surface tests: REPL command dispatch, golden transcripts, and the
+``check`` subcommand's human/JSON output -- all through the Session API."""
 
 import io
+import json
+import textwrap
 
 import pytest
 
-from repro.cli import Repl
+from repro.cli import Repl, main, run_check
 
 
 def run_lines(*lines: str) -> str:
@@ -80,9 +83,146 @@ class TestCommands:
         assert run_lines("", "# comment") == ""
 
     def test_main_one_shot(self):
-        from repro.cli import main
-
         assert main(["-c", "poly ~id"]) == 0
+
+    def test_main_one_shot_error_exits_nonzero(self):
+        # The satellite fix: a chunk that errors must not exit 0.
+        assert main(["-c", "auto id"]) == 1
+        assert main(["-c", "poly ~id", "auto id"]) == 1
+        assert main(["-c", "let = in"]) == 1
+        # Unknown commands and usage errors count too.
+        assert main(["-c", ":wibble"]) == 1
+        assert main(["-c", ":strategy zealous"]) == 1
+        assert main(["-c", ":let 1bad = 2"]) == 1
+
+    def test_repl_is_a_thin_session_client(self):
+        from repro.api import Session
+
+        session = Session()
+        repl = Repl(out=io.StringIO(), session=session)
+        repl.handle(":let three = 3")
+        # State lives in the session, not the REPL.
+        assert session.bindings == {"three": "Int"}
+        assert session.infer("three").type_str == "Int"
+
+
+class TestGoldenTranscript:
+    """One scripted session exercising every REPL command, checked
+    against its full expected transcript."""
+
+    SCRIPT = (
+        "poly ~id",
+        ":run poly ~id",
+        ":f poly ~id",
+        ":derive single ~id",
+        ":hmf poly id",
+        ":let myid = $(fun x -> x)",
+        "poly ~myid",
+        ":env",
+        ":strategy e",
+        "(head ids) 42",
+        ":strategy v",
+        "auto id",
+        "let = in",
+        ":wibble",
+        ":strategy zealous",
+        ":let 1bad = 2",
+    )
+
+    EXPECTED = textwrap.dedent("""\
+          : Int * Bool
+          = (42, true)
+          C[[-]] = poly id
+          :      Int * Bool
+          [App] single ~id : List (forall a. a -> a)
+            [Var] single : (forall a. a -> a) -> List (forall a. a -> a)
+            [Freeze] ~id : forall a. a -> a
+          (HMF) : Int * Bool
+          myid : forall a. a -> a
+          : Int * Bool
+          myid : forall a. a -> a
+          instantiation strategy: eliminator
+          : Int
+          instantiation strategy: variable
+        error: cannot unify `forall a. a -> a` with `%1 -> %1` [FML102 at 1:1]
+        error: expected IDENT, found EQUALS '=' [FML001 at 1:5]
+        unknown command :wibble (:help)
+        usage: :strategy v|e
+        usage: :let x = <term>
+        """)
+
+    def test_transcript(self):
+        out = io.StringIO()
+        repl = Repl(out=out)
+        for line in self.SCRIPT:
+            assert repl.handle(line)
+        assert out.getvalue() == self.EXPECTED
+        # Two request failures + unknown command + two usage errors.
+        assert repl.error_count == 5
+
+    def test_env_on_fresh_session(self):
+        assert "(only the Figure 2 prelude)" in run_lines(":env")
+
+
+class TestCheckSubcommand:
+    @pytest.fixture()
+    def tree(self, tmp_path):
+        good = tmp_path / "good.fml"
+        good.write_text("poly ~id\n")
+        program = tmp_path / "program.fml"
+        program.write_text(
+            "sig f : forall a. a -> a\ndef f x = x\nmain = f 42\n"
+        )
+        bad = tmp_path / "bad.fml"
+        bad.write_text("# a comment line\nauto id\n")
+        return good, program, bad
+
+    def test_human_output_and_exit_codes(self, tree, capsys):
+        good, program, bad = tree
+        assert run_check([str(good), str(program)]) == 0
+        out = capsys.readouterr().out
+        assert f"{good}: ok: Int * Bool" in out
+        assert f"{program}: ok: Int" in out
+
+        assert run_check([str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        # Diagnostics point at the real location: line 2, past the comment.
+        assert f"{bad}:2:1: error[FML102]: cannot unify" in out
+
+    def test_json_output_is_machine_readable(self, tree, capsys):
+        good, _program, bad = tree
+        assert run_check([str(good), str(bad), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "freezeml"
+        ok, fail = payload["programs"]
+        assert ok["file"] == str(good)
+        assert ok["ok"] is True and ok["type"] == "Int * Bool"
+        assert fail["ok"] is False and fail["type"] is None
+        (diag,) = fail["diagnostics"]
+        assert diag["code"] == "FML102"
+        assert diag["severity"] == "error"
+        assert diag["span"]["line"] == 2 and diag["span"]["column"] == 1
+        assert len(diag["types"]) == 2
+
+    def test_engine_flag(self, tmp_path, capsys):
+        unmarked = tmp_path / "unmarked.fml"
+        unmarked.write_text("runST argST\n")
+        assert run_check([str(unmarked)]) == 1
+        capsys.readouterr()
+        assert run_check([str(unmarked), "--engine=hmf"]) == 0
+        assert "ok: Int" in capsys.readouterr().out
+
+    def test_usage_errors_exit_2(self, tree, capsys):
+        good, *_ = tree
+        assert run_check([]) == 2
+        assert run_check([str(good), "--engine=mlton"]) == 2
+        assert run_check([str(good), "--wat"]) == 2
+        assert run_check([str(good) + ".missing"]) == 2
+        assert main(["check"]) == 2
+
+    def test_main_dispatches_check(self, tree, capsys):
+        good, *_ = tree
+        assert main(["check", str(good)]) == 0
 
 
 class TestBenchCommand:

@@ -1,58 +1,36 @@
 """Integration: every Figure 1 example infers the paper's reported type
-(or is rejected where the paper shows ✕).  This is experiment E1."""
+(or is rejected where the paper shows ✕).  This is experiment E1.
+
+The verdicts route through :func:`repro.corpus.compare.check_example`,
+i.e. the unified ``repro.api`` session -- the same code path the REPL
+and the ``check`` subcommand use."""
 
 import pytest
 
-from repro.core.infer import infer_definition, infer_type
-from repro.corpus.compare import equivalent_types
+from repro.corpus.compare import check_example
 from repro.corpus.examples import BAD_EXAMPLES, EXAMPLES, TEXT_EXAMPLES
-from repro.errors import FreezeMLError
-
-
-def outcome(example):
-    options = {"value_restriction": False} if example.flag == "no-vr" else {}
-    try:
-        if example.mode == "definition":
-            ty = infer_definition("it", example.term(), example.env(), **options)
-        else:
-            ty = infer_type(example.term(), example.env(), **options)
-        return ("ok", ty)
-    except FreezeMLError as exc:
-        return ("fail", exc)
 
 
 @pytest.mark.parametrize("example", EXAMPLES, ids=[x.id for x in EXAMPLES])
 def test_figure1(example):
-    status, result = outcome(example)
-    expected = example.expected_type()
-    if expected is None:
-        assert status == "fail", f"{example.id} should be ill-typed, got {result}"
-    else:
-        assert status == "ok", f"{example.id} failed: {result}"
-        assert equivalent_types(result, expected), (
-            f"{example.id}: expected {example.expected}, got {result}"
-        )
+    verdict = check_example(example)
+    assert verdict.agrees, verdict.describe()
 
 
 @pytest.mark.parametrize(
     "example", TEXT_EXAMPLES, ids=[x.id for x in TEXT_EXAMPLES]
 )
 def test_section2_prose(example):
-    status, result = outcome(example)
-    expected = example.expected_type()
-    if expected is None:
-        assert status == "fail", f"{example.id} should be ill-typed, got {result}"
-    else:
-        assert status == "ok", f"{example.id} failed: {result}"
-        assert equivalent_types(result, expected)
+    verdict = check_example(example)
+    assert verdict.agrees, verdict.describe()
 
 
 @pytest.mark.parametrize(
     "example", BAD_EXAMPLES, ids=[x.id for x in BAD_EXAMPLES]
 )
 def test_negative_suite(example):
-    status, _result = outcome(example)
-    assert status == "fail", f"{example.id} must be rejected"
+    verdict = check_example(example)
+    assert not verdict.ok, f"{example.id} must be rejected"
 
 
 def test_f10_requires_dropping_value_restriction():

@@ -1,0 +1,217 @@
+"""Spans, error codes and the exception -> Diagnostic pipeline."""
+
+import json
+
+import pytest
+
+from repro.diagnostics import (
+    Diagnostic,
+    Severity,
+    Span,
+    diagnostic_from_error,
+    error_span,
+    offending_types,
+    render_all,
+)
+from repro.errors import (
+    EvaluationError,
+    FreezeMLError,
+    KindError,
+    MLTypeError,
+    MonomorphismError,
+    OccursCheckError,
+    ParseError,
+    ScopeError,
+    SkolemEscapeError,
+    SystemFTypeError,
+    TypeInferenceError,
+    UnboundVariableError,
+    UnificationError,
+)
+from repro.syntax.parser import parse_term, parse_term_spanned, parse_type
+
+
+def t(src):
+    return parse_type(src)
+
+
+class TestSpan:
+    def test_point_and_str(self):
+        span = Span.point(3, 7)
+        assert (span.end_line, span.end_column) == (3, 8)
+        assert str(span) == "3:7"
+
+    def test_whole_source(self):
+        span = Span.whole_source("ab\ncdef")
+        assert span == Span(1, 1, 2, 5)
+        assert Span.whole_source("") == Span(1, 1, 1, 1)
+
+    def test_cover(self):
+        a, b = Span(1, 4, 1, 9), Span(2, 1, 2, 3)
+        assert a.cover(b) == Span(1, 4, 2, 3)
+        assert b.cover(a) == Span(1, 4, 2, 3)
+
+
+class TestErrorCodes:
+    CODES = {
+        FreezeMLError: "FML000",
+        ParseError: "FML001",
+        ScopeError: "FML002",
+        KindError: "FML003",
+        TypeInferenceError: "FML100",
+        UnboundVariableError: "FML101",
+        UnificationError: "FML102",
+        OccursCheckError: "FML103",
+        SkolemEscapeError: "FML104",
+        MonomorphismError: "FML105",
+        SystemFTypeError: "FML200",
+        MLTypeError: "FML201",
+        EvaluationError: "FML300",
+    }
+
+    def test_every_class_declares_a_stable_code(self):
+        for cls, code in self.CODES.items():
+            assert cls.code == code
+
+    def test_codes_are_unique(self):
+        codes = list(self.CODES.values())
+        assert len(set(codes)) == len(codes)
+
+
+class TestOccursCheckFields:
+    """The satellite fix: var/ty are the name and the type; left/right
+    are both types, consistent with the UnificationError contract."""
+
+    def test_fields(self):
+        from repro.core.types import TVar
+
+        err = OccursCheckError("%1", t("List a"))
+        assert err.var == "%1"
+        assert err.ty == t("List a")
+        assert err.left == TVar("%1")
+        assert err.right == t("List a")
+
+    def test_left_right_are_types_across_the_family(self):
+        from repro.core.types import Type
+
+        for err in (
+            UnificationError(t("Int"), t("Bool")),
+            OccursCheckError("a", t("List a")),
+        ):
+            assert isinstance(err.left, Type)
+            assert isinstance(err.right, Type)
+
+
+class TestDiagnosticFromError:
+    def test_unification_offending_types(self):
+        diag = diagnostic_from_error(UnificationError(t("Int"), t("Bool")))
+        assert diag.code == "FML102"
+        assert diag.types == ("Int", "Bool")
+
+    def test_occurs_check_offending_types(self):
+        diag = diagnostic_from_error(OccursCheckError("a", t("List a")))
+        assert diag.code == "FML103"
+        assert diag.types == ("a", "List a")
+
+    def test_monomorphism_offending_type(self):
+        diag = diagnostic_from_error(MonomorphismError("a", t("forall b. b -> b")))
+        assert diag.types == ("forall b. b -> b",)
+
+    def test_plain_errors_have_no_types(self):
+        assert offending_types(UnboundVariableError("x")) == ()
+
+    def test_parse_error_span_and_bare_message(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_term("fun -> 1")
+        diag = diagnostic_from_error(excinfo.value)
+        assert diag.code == "FML001"
+        assert diag.span == Span(1, 5, 1, 7)
+        # The location lives in the span; the message stays bare.
+        assert "1:5" not in diag.message
+
+    def test_fallback_span_used_when_unlocated(self):
+        fallback = Span.whole_source("some text")
+        diag = diagnostic_from_error(UnboundVariableError("x"), fallback_span=fallback)
+        assert diag.span == fallback
+
+    def test_attached_span_wins_over_fallback(self):
+        err = UnificationError(t("Int"), t("Bool"))
+        err.span = Span(2, 3, 2, 9)
+        diag = diagnostic_from_error(err, fallback_span=Span.whole_source("x"))
+        assert diag.span == Span(2, 3, 2, 9)
+        assert error_span(err) == Span(2, 3, 2, 9)
+
+    def test_unknown_exception_gets_generic_code(self):
+        diag = diagnostic_from_error(RuntimeError("boom"))
+        assert diag.code == "FML000"
+        assert diag.message == "boom"
+
+
+class TestRendering:
+    def test_render_line(self):
+        diag = Diagnostic("FML102", "cannot unify", span=Span(1, 5, 1, 9))
+        assert diag.render() == "error[FML102] at 1:5: cannot unify"
+
+    def test_render_without_span(self):
+        diag = Diagnostic("FML000", "boom")
+        assert diag.render() == "error[FML000]: boom"
+
+    def test_render_all_prefixes_file(self):
+        diag = Diagnostic("FML001", "bad", span=Span(2, 1, 2, 4))
+        (line,) = render_all([diag], file="prog.fml")
+        assert line == "prog.fml:2:1: error[FML001]: bad"
+
+    def test_to_dict_roundtrips_through_json(self):
+        diag = Diagnostic(
+            "FML102",
+            "cannot unify",
+            severity=Severity.ERROR,
+            span=Span(1, 2, 3, 4),
+            types=("Int", "Bool"),
+        )
+        payload = json.loads(json.dumps(diag.to_dict()))
+        assert payload["code"] == "FML102"
+        assert payload["severity"] == "error"
+        assert payload["span"] == {
+            "line": 1,
+            "column": 2,
+            "end_line": 3,
+            "end_column": 4,
+        }
+        assert payload["types"] == ["Int", "Bool"]
+
+
+class TestSpanTable:
+    def test_every_node_is_located(self):
+        from repro.core.terms import subterms
+
+        term, spans = parse_term_spanned("let f = fun x -> x in poly (f 1)")
+        for node in subterms(term):
+            assert spans.get(node) is not None, repr(node)
+
+    def test_spans_are_tight(self):
+        term, spans = parse_term_spanned("choose id auto")
+        # The whole application covers the line; the inner application
+        # `choose id` stops before `auto`.
+        whole = spans.get(term)
+        inner = spans.get(term.fn)
+        assert (whole.column, whole.end_column) == (1, 15)
+        assert (inner.column, inner.end_column) == (1, 10)
+
+    def test_multiline_positions(self):
+        term, spans = parse_term_spanned("# comment\nlet x = 1 in\n  x + 2")
+        span = spans.get(term)
+        assert span.line == 2
+        assert span.end_line == 3
+
+    def test_sugar_located_at_operator(self):
+        term, spans = parse_term_spanned("poly $(fun x -> x)")
+        dollar = term.arg
+        span = spans.get(dollar)
+        assert (span.line, span.column) == (1, 6)
+
+    def test_identical_subterms_have_distinct_spans(self):
+        term, spans = parse_term_spanned("pair id id")
+        first, second = term.fn.arg, term.arg
+        assert first == second  # equal dataclasses...
+        assert spans.get(first) != spans.get(second)  # ...distinct places

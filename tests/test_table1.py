@@ -1,5 +1,6 @@
 """Table 1 (Appendix A): failure counts per system and annotation regime.
-The FreezeML column is *measured*; the other columns reproduce the
+The FreezeML column is *measured* -- through the unified ``repro.api``
+session (``verdicts.measured_failures``); the other columns reproduce the
 recorded literature data the paper itself tabulates.  Experiment E3."""
 
 from repro.baselines.verdicts import (
@@ -7,30 +8,13 @@ from repro.baselines.verdicts import (
     REGIMES,
     SECTION_AE_IDS,
     TABLE1_RECORDED,
-    UNANNOTATED_SOURCES,
+    measured_failures,
 )
-from repro.core.infer import typecheck
-from repro.corpus.examples import EXAMPLES
-from repro.syntax.parser import parse_term
 
 
 def freezeml_failures(regime: str) -> list[str]:
     """Measure which of the 32 A-E examples FreezeML fails under a regime."""
-    failures = []
-    for base_id in SECTION_AE_IDS:
-        variants = [
-            x for x in EXAMPLES
-            if (x.id == base_id or x.id == base_id + "*") and x.flag != "no-vr"
-        ]
-        assert variants, base_id
-        if regime == "nothing" and base_id in UNANNOTATED_SOURCES:
-            term = parse_term(UNANNOTATED_SOURCES[base_id])
-            ok = typecheck(term, variants[0].env())
-        else:
-            ok = any(typecheck(v.term(), v.env()) for v in variants)
-        if not ok:
-            failures.append(base_id)
-    return failures
+    return measured_failures(regime, engine="freezeml")
 
 
 def test_section_ae_has_32_examples():
