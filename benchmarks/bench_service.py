@@ -1,0 +1,82 @@
+"""Experiment E15 -- TypecheckService batch throughput and cache hits.
+
+The service layer (PR "engines/service") is the serving story on top of
+``Session``: batches fan out across a process pool and repeats are
+served from a parent-side result cache.  These benches pin down the two
+claims that matter for a frontend: (a) batch throughput as a function
+of worker count over the Figure 1 corpus, and (b) the cache-hit fast
+path versus re-running inference -- the hit/miss ratio is visible in
+every run's JSON as the ``service-cache`` group.
+
+Worker pools are built once per benchmark (outside the timed region)
+and reused across rounds, as a long-lived server would; on a 1-2 core
+CI box the multi-worker rows chiefly document that fan-out adds no
+correctness or determinism cost, not a speedup.
+
+Run via ``python -m repro bench`` to regenerate ``BENCH_solver.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.corpus.examples import EXAMPLES
+from repro.service import SessionConfig, TypecheckService
+
+#: The serving workload: every self-contained Figure 1 program (a mix of
+#: well-typed and ill-typed, exactly what a frontend sees).
+BATCH = [x.source for x in EXAMPLES if not x.extra_env]
+
+
+@pytest.mark.parametrize("jobs", (1, 2, 4))
+@pytest.mark.benchmark(group="service-batch")
+def test_bench_batch_throughput(benchmark, jobs):
+    """Whole-corpus batch checks at 1/2/4 workers (cache off: every
+    round re-infers, so this times raw check throughput)."""
+    service = TypecheckService(SessionConfig(), jobs=jobs, cache=False)
+    try:
+        if jobs > 1:
+            service.check_many(BATCH[:jobs])  # pay pool start-up up front
+        responses = benchmark(service.check_many, BATCH)
+    finally:
+        service.close()
+    assert len(responses) == len(BATCH)
+    assert any(r.ok for r in responses) and any(not r.ok for r in responses)
+
+
+@pytest.mark.benchmark(group="service-cache")
+def test_bench_cache_miss_path(benchmark):
+    """The cold path: cache disabled, every program re-inferred."""
+    service = TypecheckService(SessionConfig(), cache=False)
+    try:
+        responses = benchmark(service.check_many, BATCH)
+    finally:
+        service.close()
+    assert not any(r.cached for r in responses)
+
+
+@pytest.mark.benchmark(group="service-cache")
+def test_bench_cache_hit_path(benchmark):
+    """The warm path: the same batch after one priming run -- every
+    response is a cache hit.  The speedup versus the miss row above is
+    the cache's whole value proposition; assert it holds even in this
+    run before handing the timing to pytest-benchmark."""
+    service = TypecheckService(SessionConfig(), cache=True)
+    try:
+        started = time.perf_counter()
+        service.check_many(BATCH)  # prime (the one miss pass)
+        cold = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warmed = service.check_many(BATCH)
+        warm = time.perf_counter() - started
+        assert all(r.cached for r in warmed)
+        assert warm < cold, (warm, cold)
+
+        responses = benchmark(service.check_many, BATCH)
+    finally:
+        service.close()
+    assert all(r.cached for r in responses)
+    assert service.stats.hit_rate > 0.5

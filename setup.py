@@ -1,11 +1,21 @@
 """Legacy setup shim: the sandbox has no `wheel`, so editable installs go
 through `setup.py develop` rather than PEP 517."""
 
+import re
+from pathlib import Path
+
 from setuptools import find_packages, setup
+
+# Single-sourced version: read __version__ from the package (importing it
+# would need the package's dependencies on the path at build time).
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(
+    r'^__version__ = "([^"]+)"', _INIT.read_text(encoding="utf-8"), re.MULTILINE
+).group(1)
 
 setup(
     name="repro",
-    version="1.0.0",
+    version=VERSION,
     description=(
         "FreezeML: complete and easy type inference for first-class "
         "polymorphism (PLDI 2020) - full reproduction"

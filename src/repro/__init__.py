@@ -21,6 +21,14 @@ The main entry points:
   >>> Session().infer("poly ~id").type_str
   'Int * Bool'
 
+* :mod:`repro.engines` -- the pluggable :class:`Engine` protocol and
+  registry the session dispatches through; ``register_engine`` makes a
+  third-party type system answer ``Session(engine=...)`` and
+  ``repro check --engine=...`` immediately.
+* :class:`TypecheckService` (:mod:`repro.service`) -- the serving
+  layer: batch checks across a worker-process pool with a result cache
+  and JSON-ready request/response records.
+
 * :func:`parse_term` / :func:`parse_type` -- surface syntax.
 * :func:`infer_type` / :func:`infer_definition` / :func:`typecheck` --
   the Algorithm W extension of Figure 16 (options: ``value_restriction``,
@@ -33,6 +41,13 @@ The main entry points:
 
 from .api import ENGINES, Result, Session, check_programs
 from .core.check import typeable
+from .engines import Engine, get_engine, register_engine, unregister_engine
+from .service import (
+    CheckRequest,
+    CheckResponse,
+    SessionConfig,
+    TypecheckService,
+)
 from .core.env import TypeEnv
 from .core.infer import (
     infer_definition,
@@ -51,24 +66,33 @@ from .errors import FreezeMLError, TypeInferenceError, UnificationError
 from .syntax.parser import parse_term, parse_type
 from .syntax.pretty import pretty_term, pretty_type
 
-__version__ = "1.0.0"
+#: single source of truth for the package version (setup.py reads it).
+__version__ = "1.1.0"
 
 __all__ = [
     "ENGINES",
+    "CheckRequest",
+    "CheckResponse",
     "Diagnostic",
+    "Engine",
     "FreezeMLError",
     "Kind",
     "KindEnv",
     "Result",
     "Session",
+    "SessionConfig",
     "Severity",
     "Span",
     "Subst",
     "TypeEnv",
+    "TypecheckService",
     "TypeInferenceError",
     "UnificationError",
     "check_programs",
     "diagnostic_from_error",
+    "get_engine",
+    "register_engine",
+    "unregister_engine",
     "infer_definition",
     "infer_raw",
     "infer_type",

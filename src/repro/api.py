@@ -18,7 +18,12 @@ span table can locate the offending subterm, a source span.
 Engines
 -------
 
-``engine`` selects which type system answers the request:
+``engine`` selects which type system answers the request.  Engines are
+first-class: :mod:`repro.engines` defines the :class:`~repro.engines.Engine`
+protocol and a registry, ``ENGINES`` is a live view of the registered
+names, and the session dispatches every typing question through the
+resolved engine instance -- no string dispatch lives here.  The
+built-ins:
 
 * ``"freezeml"`` -- the paper's Figure 16 inference (default); honours
   ``strategy`` (variable/eliminator instantiation) and
@@ -45,34 +50,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from .baselines.hmf import hmf_infer_type
 from .core.derivation import derive as _derive
 from .core.env import TypeEnv
-from .core.infer import (
-    ELIMINATOR,
-    VARIABLE,
-    Inferencer,
-    infer_raw,
-    normalise_type,
-)
+from .core.infer import ELIMINATOR, VARIABLE, normalise_type
 from .core.kinds import Kind, KindEnv
-from .core.terms import FrozenVar, Let, Term
+from .core.terms import Term
 from .core.types import TCon, TForall, TVar, Type, ftv, rename
 from .corpus.signatures import prelude
 from .diagnostics import Diagnostic, Span, diagnostic_from_error
-from .errors import FreezeMLError, MLTypeError
+from .engines import ENGINES, Engine, get_engine
+from .errors import FreezeMLError
 from .extensions.toplevel import desugar_program, parse_program
-from .ml.syntax import is_ml_term
-from .ml.typecheck import ml_infer_type
 from .names import display_names
 from .semantics import eval_freezeml, value_prelude
 from .semantics.values import show_value
 from .syntax.parser import SpanTable, parse_term_spanned
 from .syntax.pretty import pretty_type
-from .systemf.typecheck import typecheck_f
 from .translate import elaborate as _elaborate
-
-ENGINES = ("freezeml", "hmf", "ml", "systemf")
 
 STRATEGY_ALIASES = {
     "v": VARIABLE,
@@ -103,41 +97,36 @@ class Result:
     type_str: str = ""
     value: Any = field(default=None, compare=False)
     diagnostics: tuple[Diagnostic, ...] = ()
+    #: populated by the service layer (:mod:`repro.service`): was this
+    #: result served from the batch cache, and how long did the check take?
+    cached: bool = False
+    duration_ms: float | None = field(default=None, compare=False)
 
     def __bool__(self) -> bool:
         return self.ok
 
     def to_dict(self) -> dict:
-        """JSON-ready form (used by ``python -m repro check --json``)."""
-        return {
+        """JSON-ready form (used by ``python -m repro check --json``).
+
+        The key order is fixed (serving consumers diff these payloads),
+        ``engine`` is always present, and ``cached`` always appears so a
+        cache-aware reader never needs a fallback.  ``duration_ms`` is
+        included only once the service layer has populated it -- plain
+        session results stay byte-stable run to run.
+        """
+        payload = {
             "request": self.request,
             "engine": self.engine,
             "ok": self.ok,
             "source": self.source,
             "type": self.type_str or None,
             "rendered": self.rendered,
+            "cached": self.cached,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }
-
-
-def _located_inferencer(spans: SpanTable | None) -> type[Inferencer]:
-    """An :class:`Inferencer` whose failures carry the span of the
-    innermost located subterm (the first frame the exception crosses)."""
-    if spans is None:
-        return Inferencer
-
-    class _Located(Inferencer):
-        def infer_node(self, delta, gamma, term):
-            try:
-                return super().infer_node(delta, gamma, term)
-            except FreezeMLError as exc:
-                if exc.span is None:
-                    span = spans.get(term)
-                    if span is not None:
-                        exc.span = span
-                raise
-
-    return _Located
+        if self.duration_ms is not None:
+            payload["duration_ms"] = self.duration_ms
+        return payload
 
 
 def _collect_type_names(ty: Type, acc: set) -> None:
@@ -176,15 +165,14 @@ class Session:
     def __init__(
         self,
         *,
-        engine: str = "freezeml",
+        engine: str | Engine = "freezeml",
         strategy: str = VARIABLE,
         value_restriction: bool = True,
         env: TypeEnv | None = None,
         values: dict | None = None,
     ):
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r} (one of {ENGINES})")
-        self.engine = engine
+        self._engine_impl = get_engine(engine)  # ValueError on unknown names
+        self.engine = self._engine_impl.name
         self.strategy = STRATEGY_ALIASES.get(strategy, strategy)
         if self.strategy not in (VARIABLE, ELIMINATOR):
             raise ValueError(f"unknown instantiation strategy: {strategy!r}")
@@ -203,6 +191,7 @@ class Session:
         """An isolated copy: shares the prelude, extends privately."""
         child = Session.__new__(Session)
         child.engine = self.engine
+        child._engine_impl = self._engine_impl
         child.strategy = self.strategy
         child.value_restriction = self.value_restriction
         child.env = self.env  # TypeEnv extension is persistent/immutable
@@ -226,7 +215,9 @@ class Session:
             return source, None
         return parse_term_spanned(source)
 
-    def _fail(self, request: str, source: str, exc: BaseException) -> Result:
+    def _fail(
+        self, request: str, source: str, exc: BaseException, *, engine: str = ""
+    ) -> Result:
         diag = diagnostic_from_error(
             exc, fallback_span=Span.whole_source(source) if source else None
         )
@@ -234,122 +225,95 @@ class Session:
             request=request,
             ok=False,
             source=source,
-            engine=self.engine,
+            engine=engine or self.engine,
             diagnostics=(diag,),
         )
 
+    def _resolve_engine(self, engine: str | Engine | None) -> Engine:
+        """The engine answering this request: the session's own, or a
+        per-call override resolved through the registry."""
+        if engine is None:
+            return self._engine_impl
+        if isinstance(engine, str) and engine == self.engine:
+            return self._engine_impl
+        return get_engine(engine)
+
     def _infer_term(
-        self, term: Term, spans: SpanTable | None, engine: str
+        self, term: Term, spans: SpanTable | None, impl: Engine
     ) -> tuple[Type, str]:
-        """Engine dispatch; returns the (display-normalised) type and its
-        pretty rendering.  Raises :class:`FreezeMLError` on failure."""
-        if engine == "freezeml":
-            result = infer_raw(
+        """Delegate to the engine; returns the (display-normalised) type
+        and its pretty rendering.  Raises :class:`FreezeMLError`."""
+        ty = normalise_type(
+            impl.infer(
                 term,
                 self.env,
-                self.delta,
+                delta=self.delta,
                 strategy=self.strategy,
                 value_restriction=self.value_restriction,
-                inferencer_factory=_located_inferencer(spans),
+                spans=spans,
             )
-            ty = normalise_type(result.ty)
-        elif engine == "hmf":
-            ty = normalise_type(hmf_infer_type(term, self.env))
-        elif engine == "ml":
-            if not is_ml_term(term):
-                raise MLTypeError(
-                    f"`{term}` is outside the mini-ML fragment "
-                    "(no freezing, no annotations)"
-                )
-            ty = normalise_type(ml_infer_type(term, self.env))
-        elif engine == "systemf":
-            elab = _elaborate(
-                term,
-                self.env,
-                self.delta,
-                strategy=self.strategy,
-                value_restriction=self.value_restriction,
-            )
-            # Theorem 3 cross-check: the System F image typechecks at the
-            # FreezeML type, residual flexible variables read as rigid.
-            ty = normalise_type(
-                typecheck_f(elab.fterm, self.env, self.delta.concat(elab.residual))
-            )
-        else:  # pragma: no cover - constructor validates
-            raise ValueError(f"unknown engine {engine!r}")
+        )
         return ty, pretty_type(ty)
 
     # -- requests -----------------------------------------------------------
 
-    def infer(self, source: str | Term, *, engine: str | None = None) -> Result:
+    def infer(
+        self, source: str | Term, *, engine: str | Engine | None = None
+    ) -> Result:
         """Infer the principal type of a term under the session engine."""
-        engine = engine or self.engine
+        impl = self._resolve_engine(engine)
         text = source if isinstance(source, str) else str(source)
         try:
             term, spans = self._parse(source)
-            ty, shown = self._infer_term(term, spans, engine)
+            ty, shown = self._infer_term(term, spans, impl)
         except FreezeMLError as exc:
-            return self._fail("infer", text, exc)
+            return self._fail("infer", text, exc, engine=impl.name)
         return Result(
             request="infer",
             ok=True,
             source=text,
-            engine=engine,
+            engine=impl.name,
             rendered=shown,
             ty=ty,
             type_str=shown,
         )
 
     def _definition_type(
-        self, name: str, term: Term, spans: SpanTable | None, engine: str
+        self, name: str, term: Term, spans: SpanTable | None, impl: Engine
     ) -> Type:
-        """The generalised type a top-level ``let name = term`` gives
-        ``name`` under ``engine``, *un-normalised*: free flexible
-        variables keep their machine names (``%N``) so :meth:`define`
-        can tell residual flexibles from session ``Delta`` variables.
+        """The type a top-level ``let name = term`` gives ``name`` under
+        ``impl``, *un-normalised*: free flexible variables keep their
+        machine names (``%N``) so :meth:`define` can tell residual
+        flexibles from session ``Delta`` variables.
         Raises :class:`FreezeMLError`."""
-        if engine == "freezeml":
-            # Faithful to the paper: the definition's type is the type of
-            # the frozen variable in `let name = term in ~name`.
-            probe = Let(name, term, FrozenVar(name))
-            result = infer_raw(
-                probe,
-                self.env,
-                self.delta,
-                strategy=self.strategy,
-                value_restriction=self.value_restriction,
-                inferencer_factory=_located_inferencer(spans),
-            )
-            return result.ty
-        if engine == "ml":
-            if not is_ml_term(term):
-                raise MLTypeError(
-                    f"`{term}` is outside the mini-ML fragment "
-                    "(no freezing, no annotations)"
-                )
-            return ml_infer_type(term, self.env, generalise_top=True)
-        # hmf generalises everywhere; systemf re-checks the image.
-        ty, _shown = self._infer_term(term, spans, engine)
-        return ty
+        return impl.definition_type(
+            name,
+            term,
+            self.env,
+            delta=self.delta,
+            strategy=self.strategy,
+            value_restriction=self.value_restriction,
+            spans=spans,
+        )
 
     def infer_definition(
-        self, name: str, source: str | Term, *, engine: str | None = None
+        self, name: str, source: str | Term, *, engine: str | Engine | None = None
     ) -> Result:
         """The type a top-level definition would get -- type only: nothing
         is evaluated and the session environment is not extended."""
-        engine = engine or self.engine
+        impl = self._resolve_engine(engine)
         text = source if isinstance(source, str) else str(source)
         try:
             term, spans = self._parse(source)
-            ty = normalise_type(self._definition_type(name, term, spans, engine))
+            ty = normalise_type(self._definition_type(name, term, spans, impl))
         except FreezeMLError as exc:
-            return self._fail("infer_definition", text, exc)
+            return self._fail("infer_definition", text, exc, engine=impl.name)
         shown = pretty_type(ty)
         return Result(
             request="infer_definition",
             ok=True,
             source=text,
-            engine=engine,
+            engine=impl.name,
             rendered=f"{name} : {shown}",
             ty=ty,
             type_str=shown,
@@ -382,7 +346,7 @@ class Session:
         return rename(ty, mapping)
 
     def define(
-        self, name: str, source: str | Term, *, engine: str | None = None
+        self, name: str, source: str | Term, *, engine: str | Engine | None = None
     ) -> Result:
         """Add a top-level binding ``let name = term`` (generalising let).
 
@@ -391,14 +355,14 @@ class Session:
         non-generalisable definition become rigid session variables (see
         :meth:`_fix_residual_vars`).
         """
-        engine = engine or self.engine
+        impl = self._resolve_engine(engine)
         text = source if isinstance(source, str) else str(source)
         try:
             term, spans = self._parse(source)
-            ty = self._definition_type(name, term, spans, engine)
+            ty = self._definition_type(name, term, spans, impl)
             value = eval_freezeml(term, dict(self.values))
         except FreezeMLError as exc:
-            return self._fail("define", text, exc)
+            return self._fail("define", text, exc, engine=impl.name)
         ty = normalise_type(self._fix_residual_vars(ty))
         shown = pretty_type(ty)
         self.env = self.env.extend(name, ty)
@@ -408,7 +372,7 @@ class Session:
             request="define",
             ok=True,
             source=text,
-            engine=engine,
+            engine=impl.name,
             rendered=f"{name} : {shown}",
             ty=ty,
             type_str=shown,
@@ -498,7 +462,7 @@ class Session:
         try:
             definitions, main = parse_program(source)
             term = desugar_program(definitions, main)
-            ty, shown = self._infer_term(term, None, self.engine)
+            ty, shown = self._infer_term(term, None, self._engine_impl)
             value = eval_freezeml(term, dict(self.values))
         except FreezeMLError as exc:
             return self._fail("run_program", source, exc)
@@ -531,7 +495,7 @@ class Session:
             except FreezeMLError as exc:
                 return self._fail("check", source, exc)
         try:
-            ty, shown = self._infer_term(term, spans, self.engine)
+            ty, shown = self._infer_term(term, spans, self._engine_impl)
         except FreezeMLError as exc:
             return self._fail("check", source, exc)
         return Result(
@@ -553,7 +517,9 @@ class Session:
         """
         return [self.fork().check(source) for source in sources]
 
-    def typechecks(self, source: str | Term, *, engine: str | None = None) -> bool:
+    def typechecks(
+        self, source: str | Term, *, engine: str | Engine | None = None
+    ) -> bool:
         """Boolean convenience over :meth:`infer` (corpus/verdict use)."""
         return self.infer(source, engine=engine).ok
 
@@ -570,12 +536,25 @@ def check_programs(
     engine: str = "freezeml",
     strategy: str = VARIABLE,
     value_restriction: bool = True,
+    jobs: int = 1,
+    cache: bool = True,
 ) -> list[Result]:
-    """One-shot batch check: a fresh prelude session over ``sources``."""
-    session = Session(
+    """One-shot batch check: a fresh prelude service over ``sources``.
+
+    .. deprecated:: 1.1
+        This is a thin alias over
+        :class:`repro.service.TypecheckService` (kept so no third
+        entrypoint family appears); new code should construct the
+        service directly -- it exposes the cache statistics, the
+        request/response records and a persistent worker pool.
+    """
+    from .service import SessionConfig, TypecheckService
+
+    config = SessionConfig(
         engine=engine, strategy=strategy, value_restriction=value_restriction
     )
-    return session.check_many(sources)
+    with TypecheckService(config, jobs=jobs, cache=cache) as service:
+        return [response.result for response in service.check_many(sources)]
 
 
 __all__ = [

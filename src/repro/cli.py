@@ -25,19 +25,24 @@ Subcommands::
 
     python -m repro check FILE... [--json] [--engine=ENGINE]
                                   [--strategy=v|e] [--no-value-restriction]
+                                  [--jobs N] [--no-cache]
 
 typechecks each file (a bare term, or the ``sig``/``def``/``main``
-program format -- auto-detected) through a batch
-:meth:`~repro.api.Session.check_many` call with per-program isolation.
-``--engine`` selects the type system (``freezeml``, ``hmf``, ``ml``,
-``systemf``); ``--json`` emits machine-readable diagnostics (error
-codes, severities, ``line:column`` spans, offending types) on stdout.
-Exit status: 0 all programs typecheck, 1 some failed, 2 usage error.
+program format -- auto-detected; ``-`` reads a program from stdin)
+through one :class:`~repro.service.TypecheckService` batch with
+per-program isolation.  ``--engine`` selects the type system (any
+registered engine: ``freezeml``, ``hmf``, ``ml``, ``systemf``, ...);
+``--jobs N`` checks across N worker processes and ``--no-cache``
+disables the service's result cache; ``--json`` emits machine-readable
+diagnostics (error codes, severities, ``line:column`` spans, offending
+types) on stdout.  Timings are omitted from ``--json`` so the output is
+byte-reproducible at any ``--jobs`` setting.  Exit status: 0 all
+programs typecheck, 1 some failed, 2 usage error.
 
     python -m repro bench [--quick] [--all] [--output=FILE]
 
-runs the pytest-benchmark perf suites (solver, unification, scaling)
-and writes ``BENCH_solver.json`` -- the perf trajectory baseline that
+runs the pytest-benchmark perf suites (solver, unification, scaling,
+service) and writes ``BENCH_solver.json`` -- the perf trajectory baseline that
 future PRs compare against.  ``--quick`` runs each benchmark once with
 timing disabled (the CI smoke mode); ``--all`` includes every benchmark
 module, not just the perf-critical three.
@@ -160,69 +165,122 @@ class Repl:
 # ---------------------------------------------------------------------------
 
 
-def run_check(argv: list[str]) -> int:
-    """``python -m repro check FILE... [--json] [--engine=...]``."""
-    files: list[str] = []
-    as_json = False
-    engine = "freezeml"
-    strategy = "variable"
-    value_restriction = True
-    for arg in argv:
+CHECK_USAGE = (
+    "usage: python -m repro check FILE... [--json] [--engine=ENGINE] "
+    "[--strategy=v|e] [--no-value-restriction] [--jobs N] [--no-cache]"
+)
+
+
+def parse_check_args(argv: list[str]) -> dict | str:
+    """Parse ``check`` options; returns the option dict, or an error
+    message (pure: tested without capturing stdio)."""
+    opts = {
+        "files": [],
+        "json": False,
+        "engine": "freezeml",
+        "strategy": "variable",
+        "value_restriction": True,
+        "jobs": 1,
+        "cache": True,
+    }
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
         if arg == "--json":
-            as_json = True
+            opts["json"] = True
         elif arg.startswith("--engine="):
-            engine = arg.split("=", 1)[1]
+            opts["engine"] = arg.split("=", 1)[1]
         elif arg.startswith("--strategy="):
-            strategy = arg.split("=", 1)[1]
+            opts["strategy"] = arg.split("=", 1)[1]
         elif arg == "--no-value-restriction":
-            value_restriction = False
+            opts["value_restriction"] = False
+        elif arg == "--no-cache":
+            opts["cache"] = False
+        elif arg == "--jobs" or arg.startswith("--jobs="):
+            if arg == "--jobs":
+                i += 1
+                if i >= len(argv):
+                    return "--jobs needs a worker count"
+                raw = argv[i]
+            else:
+                raw = arg.split("=", 1)[1]
+            try:
+                opts["jobs"] = int(raw)
+            except ValueError:
+                return f"--jobs needs an integer, got {raw!r}"
+            if opts["jobs"] < 1:
+                return f"--jobs must be >= 1, got {opts['jobs']}"
+        elif arg == "-":
+            opts["files"].append(arg)  # read a program from stdin
         elif arg.startswith("-"):
-            print(f"error: unknown check option {arg}", file=sys.stderr)
-            return 2
+            return f"unknown check option {arg}"
         else:
-            files.append(arg)
-    if not files:
-        print(
-            "usage: python -m repro check FILE... [--json] [--engine=ENGINE] "
-            "[--strategy=v|e] [--no-value-restriction]",
-            file=sys.stderr,
-        )
+            opts["files"].append(arg)
+        i += 1
+    return opts
+
+
+def run_check(argv: list[str]) -> int:
+    """``python -m repro check FILE... [--json] [--jobs N] [...]``."""
+    from .service import CheckRequest, SessionConfig, TypecheckService
+
+    opts = parse_check_args(argv)
+    if isinstance(opts, str):
+        print(f"error: {opts}", file=sys.stderr)
         return 2
-    sources: list[str] = []
-    for path in files:
+    if not opts["files"]:
+        print(CHECK_USAGE, file=sys.stderr)
+        return 2
+    requests: list[CheckRequest] = []
+    stdin_source: str | None = None
+    for path in opts["files"]:
+        if path == "-":
+            # stdin is consumable exactly once; a repeated `-` reuses
+            # the first read instead of seeing an empty stream.
+            if stdin_source is None:
+                stdin_source = sys.stdin.read()
+            requests.append(CheckRequest(source=stdin_source, label="<stdin>"))
+            continue
         try:
             with open(path, encoding="utf-8") as handle:
-                sources.append(handle.read())
+                requests.append(CheckRequest(source=handle.read(), label=path))
         except OSError as exc:
             print(f"error: cannot read {path}: {exc}", file=sys.stderr)
             return 2
 
+    config = SessionConfig(
+        engine=opts["engine"],
+        strategy=opts["strategy"],
+        value_restriction=opts["value_restriction"],
+    )
     try:
-        session = Session(
-            engine=engine, strategy=strategy, value_restriction=value_restriction
-        )
+        service = TypecheckService(config, jobs=opts["jobs"], cache=opts["cache"])
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    results = session.check_many(sources)
+    with service:
+        responses = service.check_many(requests)
 
-    if as_json:
-        payload = {
-            "engine": engine,
-            "programs": [
-                {"file": path, **result.to_dict()}
-                for path, result in zip(files, results)
-            ],
-        }
-        print(json.dumps(payload, indent=2))
+    if opts["json"]:
+        programs = []
+        for response in responses:
+            # `--json` output is byte-reproducible across runs and
+            # `--jobs` settings: drop the wall-clock timing (the one
+            # nondeterministic field; library users still get it).
+            entry = {"file": response.request.label, **response.result.to_dict()}
+            entry.pop("duration_ms", None)
+            programs.append(entry)
+        print(json.dumps({"engine": opts["engine"], "programs": programs}, indent=2))
     else:
-        for path, result in zip(files, results):
+        for response in responses:
+            path, result = response.request.label, response.result
             if result.ok:
-                print(f"{path}: ok: {result.type_str}")
+                suffix = " (cached)" if response.cached else ""
+                print(f"{path}: ok: {result.type_str}{suffix}")
             else:
                 for line in render_all(result.diagnostics, file=path):
                     print(line)
-    return 0 if all(result.ok for result in results) else 1
+    return 0 if all(response.ok for response in responses) else 1
 
 
 # ---------------------------------------------------------------------------
@@ -233,6 +291,7 @@ BENCH_DEFAULT_SUITES = (
     "benchmarks/bench_solver.py",
     "benchmarks/bench_unification.py",
     "benchmarks/bench_scaling.py",
+    "benchmarks/bench_service.py",
 )
 
 

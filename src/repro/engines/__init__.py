@@ -1,0 +1,48 @@
+"""Pluggable type-system engines behind :class:`repro.api.Session`.
+
+Importing this package registers the four built-in engines in their
+canonical order (``freezeml``, ``hmf``, ``ml``, ``systemf``).  Third
+parties add their own::
+
+    from repro.engines import Engine, register_engine
+
+    class MyEngine(Engine):
+        name = "mine"
+        def infer(self, term, env, **context): ...
+
+    register_engine(MyEngine)
+
+and ``Session(engine="mine")`` / ``repro check --engine=mine`` work
+immediately -- :data:`ENGINES` is a live view of the registry.
+"""
+
+from .base import (
+    ENGINES,
+    Engine,
+    engine_names,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+from .freezeml import FreezeMLEngine
+from .hmf import HMFEngine
+from .ml import MLEngine
+from .systemf import SystemFEngine
+
+register_engine(FreezeMLEngine)
+register_engine(HMFEngine)
+register_engine(MLEngine)
+register_engine(SystemFEngine)
+
+__all__ = [
+    "ENGINES",
+    "Engine",
+    "FreezeMLEngine",
+    "HMFEngine",
+    "MLEngine",
+    "SystemFEngine",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+    "unregister_engine",
+]

@@ -1,0 +1,31 @@
+"""The HMF baseline engine (Leijen 2008; our Figure 8 rival)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import Engine
+from ..baselines.hmf import hmf_infer_type
+from ..core.infer import VARIABLE
+from ..core.kinds import KindEnv
+from ..core.terms import Term
+
+
+class HMFEngine(Engine):
+    """HMF infers and generalises everywhere; strategy has no effect."""
+
+    name = "hmf"
+    supports_strategy = False
+    generalises = True
+
+    def infer(
+        self,
+        term: Term,
+        env,
+        *,
+        delta: KindEnv | None = None,
+        strategy: str = VARIABLE,
+        value_restriction: bool = True,
+        spans: Any = None,
+    ):
+        return hmf_infer_type(term, env)

@@ -1,0 +1,60 @@
+"""The mini-ML fragment engine (Figures 20/21).
+
+Terms outside the fragment (freezing, annotations) are rejected with an
+:class:`~repro.errors.MLTypeError`, which the session turns into the
+``FML201`` diagnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import Engine
+from ..core.infer import VARIABLE
+from ..core.kinds import KindEnv
+from ..core.terms import Term
+from ..errors import MLTypeError
+from ..ml.syntax import is_ml_term
+from ..ml.typecheck import ml_infer_type
+
+
+class MLEngine(Engine):
+    """Algorithm W over the fragment; generalises at (top-level) lets."""
+
+    name = "ml"
+    supports_strategy = False
+    generalises = True
+
+    def _require_fragment(self, term: Term) -> None:
+        if not is_ml_term(term):
+            raise MLTypeError(
+                f"`{term}` is outside the mini-ML fragment "
+                "(no freezing, no annotations)"
+            )
+
+    def infer(
+        self,
+        term: Term,
+        env,
+        *,
+        delta: KindEnv | None = None,
+        strategy: str = VARIABLE,
+        value_restriction: bool = True,
+        spans: Any = None,
+    ):
+        self._require_fragment(term)
+        return ml_infer_type(term, env)
+
+    def definition_type(
+        self,
+        name: str,
+        term: Term,
+        env,
+        *,
+        delta: KindEnv | None = None,
+        strategy: str = VARIABLE,
+        value_restriction: bool = True,
+        spans: Any = None,
+    ):
+        self._require_fragment(term)
+        return ml_infer_type(term, env, generalise_top=True)

@@ -1,0 +1,48 @@
+"""The System F cross-check engine (the Theorem 3 path).
+
+Elaborates the term to System F (Figure 11) and re-checks the image
+with the Figure 18 typechecker; the type of the image *is* the answer,
+so a bug in either translation or typechecker surfaces as a mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import Engine
+from ..core.infer import VARIABLE
+from ..core.kinds import KindEnv
+from ..core.terms import Term
+from ..systemf.typecheck import typecheck_f
+from ..translate import elaborate
+
+
+class SystemFEngine(Engine):
+    """Elaborate + re-check; definitions are typed as bare terms (no
+    generalisation probe), so ``generalises`` is False."""
+
+    name = "systemf"
+    supports_strategy = True
+    generalises = False
+
+    def infer(
+        self,
+        term: Term,
+        env,
+        *,
+        delta: KindEnv | None = None,
+        strategy: str = VARIABLE,
+        value_restriction: bool = True,
+        spans: Any = None,
+    ):
+        delta = delta if delta is not None else KindEnv.empty()
+        elab = elaborate(
+            term,
+            env,
+            delta,
+            strategy=strategy,
+            value_restriction=value_restriction,
+        )
+        # Theorem 3 cross-check: the System F image typechecks at the
+        # FreezeML type, residual flexible variables read as rigid.
+        return typecheck_f(elab.fterm, env, delta.concat(elab.residual))

@@ -1,0 +1,374 @@
+"""The serving layer: :class:`TypecheckService` over :class:`~repro.api.Session`.
+
+:meth:`Session.check_many <repro.api.Session.check_many>` is a
+single-threaded loop -- correct, isolated, and exactly what a REPL
+needs.  A server needs more: worker parallelism, result caching, and
+request/response records that survive a JSON round-trip.  This module
+adds that layer *on top of* the session, not beside it: every check
+still runs through ``Session.check`` (in this process or in a worker),
+so the service inherits the per-program isolation and the
+exceptions-never-escape guarantee of the API boundary.
+
+Design
+------
+
+* **Picklable configuration.**  A :class:`SessionConfig` names an
+  engine (registry key), a strategy and the value-restriction toggle --
+  everything needed to rebuild an equivalent prelude session anywhere.
+  Worker processes are initialised once per pool with the config and
+  reconstruct their own :class:`~repro.api.Session`; no interpreter
+  state ever crosses a process boundary.
+
+* **Parent-side cache.**  Results are cached under a key derived from
+  the exact source bytes, the engine, the strategy, the value
+  restriction and a fingerprint of the type environment.  The source is
+  deliberately *not* whitespace-normalised: diagnostics encode
+  ``line:column`` spans (even a trailing newline moves an at-EOF parse
+  error from ``1:9`` to ``2:1``) and results echo the source back, so
+  any looser key would serve subtly wrong payloads.  The cache lives in
+  the parent and duplicates are coalesced *before* dispatch, so a batch
+  produces identical ``cached`` flags whether it runs serially or
+  across N workers -- parallelism never changes the bytes a client
+  sees.
+
+* **JSON-ready records.**  :class:`CheckRequest` /
+  :class:`CheckResponse` pair each result with its label, cache status
+  and duration; ``python -m repro check --jobs N`` and future server
+  frontends share this one path.
+
+>>> from repro.service import SessionConfig, TypecheckService
+>>> with TypecheckService(SessionConfig(), jobs=2) as service:
+...     [r.result.type_str for r in service.check_many(["poly ~id"] * 2)]
+['Int * Bool', 'Int * Bool']
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from .api import Result, Session
+from .core.infer import VARIABLE
+from .core.types import format_type
+from .engines import get_engine
+
+
+@dataclass(frozen=True, slots=True)
+class SessionConfig:
+    """Everything needed to rebuild an equivalent session: picklable,
+    hashable, and JSON-ready.  ``engine`` is a registry *name* (never an
+    instance) so configs travel to worker processes."""
+
+    engine: str = "freezeml"
+    strategy: str = VARIABLE
+    value_restriction: bool = True
+
+    def build(self) -> Session:
+        """A fresh prelude session with this configuration.  Raises
+        :class:`ValueError` on unknown engines/strategies."""
+        return Session(
+            engine=self.engine,
+            strategy=self.strategy,
+            value_restriction=self.value_restriction,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "strategy": self.strategy,
+            "value_restriction": self.value_restriction,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class CheckRequest:
+    """One unit of service work: a program source plus a client label
+    (typically a file path) that is echoed back on the response."""
+
+    source: str
+    label: str = ""
+
+    def to_dict(self) -> dict:
+        return {"label": self.label, "source": self.source}
+
+
+@dataclass(frozen=True, slots=True)
+class CheckResponse:
+    """One service answer: the session :class:`~repro.api.Result` plus
+    the serving metadata (cache status, wall-clock duration).  The same
+    fields are mirrored onto ``result.cached`` / ``result.duration_ms``
+    so plain-``Result`` consumers see them too."""
+
+    request: CheckRequest
+    result: Result
+    cached: bool
+    duration_ms: float
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    def to_dict(self) -> dict:
+        return {"label": self.request.label, **self.result.to_dict()}
+
+
+@dataclass
+class ServiceStats:
+    """Running hit/miss counters for one service instance."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    check_ms: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "check_ms": self.check_ms,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker plumbing (module-level so it pickles under every start method)
+# ---------------------------------------------------------------------------
+
+_WORKER_SESSION: Session | None = None
+
+
+def _init_worker(config: SessionConfig, engine) -> None:
+    """Pool initializer: rebuild the session once per worker process.
+
+    The resolved :class:`~repro.engines.Engine` *instance* travels with
+    the config, so an engine registered only in the parent process still
+    works under any pool start method (its class just has to be
+    importable where the worker unpickles it) -- workers never consult
+    their own registry.
+    """
+    global _WORKER_SESSION
+    _WORKER_SESSION = Session(
+        engine=engine,
+        strategy=config.strategy,
+        value_restriction=config.value_restriction,
+    )
+
+
+def _check_in_worker(source: str) -> tuple[Result, float]:
+    """Check one program in a worker; isolation via per-request fork,
+    exactly as the serial ``check_many`` does."""
+    assert _WORKER_SESSION is not None, "worker used before initialisation"
+    started = time.perf_counter()
+    result = _WORKER_SESSION.fork().check(source)
+    return result, (time.perf_counter() - started) * 1000.0
+
+
+def env_fingerprint(session: Session) -> str:
+    """A digest of the visible typing context: bindings (name : type,
+    order-insensitive) plus the session's rigid ``Delta`` variables.
+    Two sessions with the same fingerprint, engine, strategy and value
+    restriction give every program the same verdict."""
+    digest = hashlib.sha256()
+    for name, ty in sorted(
+        (name, format_type(ty)) for name, ty in session.env.items()
+    ):
+        digest.update(name.encode())
+        digest.update(b" : ")
+        digest.update(ty.encode())
+        digest.update(b"\n")
+    digest.update(repr(sorted(session.delta.names())).encode())
+    return digest.hexdigest()
+
+
+class TypecheckService:
+    """A long-lived batch typechecking frontend.
+
+    ``jobs=1`` (the default) checks in-process; ``jobs=N`` maintains a
+    pool of N worker processes, each holding its own prelude session
+    rebuilt from ``config``.  The pool is created lazily on the first
+    parallel batch and reused across batches; use the service as a
+    context manager (or call :meth:`close`) to release it.
+
+    The result cache (``cache=True``) is keyed by exact source + engine
+    + strategy + value restriction + environment fingerprint and is
+    coalesced parent-side before dispatch, so verdicts -- including the
+    ``cached`` flags -- are byte-identical at any worker count.
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        *,
+        jobs: int = 1,
+        cache: bool = True,
+        max_cache_entries: int = 65536,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.config = config or SessionConfig()
+        self.jobs = jobs
+        self.cache_enabled = cache
+        self.max_cache_entries = max_cache_entries
+        self.stats = ServiceStats()
+        self._session = self.config.build()  # validates config eagerly
+        self._fingerprint = env_fingerprint(self._session)
+        self._cache: dict[str, Result] = {}
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "TypecheckService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                # Ship the resolved engine instance, not just its name:
+                # parent-registered engines stay usable in workers.
+                initargs=(self.config, get_engine(self.config.engine)),
+            )
+        return self._pool
+
+    # -- cache --------------------------------------------------------------
+
+    def cache_key(self, source: str) -> str:
+        """The cache key for one program under this service's config.
+
+        The source contributes byte-exactly: spans in diagnostics and
+        the echoed ``source`` field depend on the precise text, so even
+        trailing-whitespace variants must not share a cached result (see
+        the module docstring)."""
+        digest = hashlib.sha256()
+        for part in (
+            source,
+            self.config.engine,
+            self.config.strategy,
+            str(self.config.value_restriction),
+            self._fingerprint,
+        ):
+            digest.update(part.encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def _remember(self, key: str, result: Result) -> None:
+        if len(self._cache) >= self.max_cache_entries:
+            # Drop the oldest entry (insertion order); a full LRU is not
+            # worth the bookkeeping at typechecking request rates.
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = result
+
+    # -- requests -----------------------------------------------------------
+
+    def check(self, source: str | CheckRequest) -> CheckResponse:
+        """Check one program (see :meth:`check_many`)."""
+        return self.check_many([source])[0]
+
+    def check_many(
+        self, sources: Iterable[str | CheckRequest]
+    ) -> list[CheckResponse]:
+        """Check a batch with per-program isolation, in input order.
+
+        Duplicate programs (and programs already answered by this
+        service) are served from the cache; the remaining misses run
+        serially in-process (``jobs=1``) or across the worker pool.
+        """
+        requests = [
+            item if isinstance(item, CheckRequest) else CheckRequest(source=item)
+            for item in sources
+        ]
+        keys = [self.cache_key(request.source) for request in requests]
+
+        # Plan: serve hits parent-side, dispatch each distinct miss once.
+        pending: dict[str, int] = {}  # key -> index into `misses`
+        misses: list[str] = []
+        plan: list[tuple[bool, int | Result]] = []  # (hit?, miss-index | Result)
+        for request, key in zip(requests, keys):
+            if self.cache_enabled and key in self._cache:
+                plan.append((True, self._cache[key]))
+            elif self.cache_enabled and key in pending:
+                plan.append((True, pending[key]))
+            else:
+                if self.cache_enabled:
+                    pending[key] = len(misses)
+                plan.append((False, len(misses)))
+                misses.append(request.source)
+
+        computed = self._run_misses(misses)
+
+        responses: list[CheckResponse] = []
+        for request, key, (hit, ref) in zip(requests, keys, plan):
+            self.stats.requests += 1
+            if hit:
+                result = ref if isinstance(ref, Result) else computed[ref][0]
+                result = replace(result, cached=True, duration_ms=0.0)
+                self.stats.hits += 1
+                duration = 0.0
+            else:
+                result, duration = computed[ref]
+                result = replace(result, cached=False, duration_ms=duration)
+                self.stats.misses += 1
+                self.stats.check_ms += duration
+                if self.cache_enabled:
+                    self._remember(key, result)
+            responses.append(
+                CheckResponse(
+                    request=request,
+                    result=result,
+                    cached=result.cached,
+                    duration_ms=result.duration_ms,
+                )
+            )
+        return responses
+
+    def _run_misses(self, sources: Sequence[str]) -> list[tuple[Result, float]]:
+        """Execute the deduplicated misses, preserving order."""
+        if not sources:
+            return []
+        if self.jobs == 1:
+            out = []
+            for source in sources:
+                started = time.perf_counter()
+                result = self._session.fork().check(source)
+                out.append((result, (time.perf_counter() - started) * 1000.0))
+            return out
+        pool = self._ensure_pool()
+        return list(pool.map(_check_in_worker, sources, chunksize=1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TypecheckService(engine={self.config.engine!r}, jobs={self.jobs}, "
+            f"cache={'on' if self.cache_enabled else 'off'}, "
+            f"entries={len(self._cache)})"
+        )
+
+
+__all__ = [
+    "CheckRequest",
+    "CheckResponse",
+    "ServiceStats",
+    "SessionConfig",
+    "TypecheckService",
+    "env_fingerprint",
+]

@@ -225,6 +225,87 @@ class TestCheckSubcommand:
         assert main(["check", str(good)]) == 0
 
 
+class TestCheckServiceOptions:
+    """The serving-flavoured `check` options: stdin, --jobs, --no-cache."""
+
+    @pytest.fixture()
+    def good(self, tmp_path):
+        path = tmp_path / "good.fml"
+        path.write_text("poly ~id\n")
+        return path
+
+    def test_stdin_dash(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("poly ~id\n"))
+        assert run_check(["-"]) == 0
+        assert "<stdin>: ok: Int * Bool" in capsys.readouterr().out
+
+    def test_repeated_stdin_dash_reuses_the_first_read(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("poly ~id\n"))
+        assert run_check(["-", "-"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("<stdin>: ok: Int * Bool") == 2
+
+    def test_stdin_dash_json_and_failure(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("auto id\n"))
+        assert run_check(["-", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        (program,) = payload["programs"]
+        assert program["file"] == "<stdin>" and program["ok"] is False
+
+    def test_strategy_flag_threaded_through(self, tmp_path, capsys):
+        eliminator_only = tmp_path / "e.fml"
+        eliminator_only.write_text("(head ids) 42\n")
+        assert run_check([str(eliminator_only)]) == 1
+        capsys.readouterr()
+        assert run_check([str(eliminator_only), "--strategy=e"]) == 0
+        assert "ok: Int" in capsys.readouterr().out
+
+    def test_jobs_parallel_json_identical_to_serial(self, tmp_path, capsys):
+        # The acceptance criterion, at CLI level: byte-identical --json.
+        sources = ["poly ~id", "auto id", "single ~id", "1 + 2", "poly ~id"]
+        files = []
+        for i, src in enumerate(sources):
+            path = tmp_path / f"p{i}.fml"
+            path.write_text(src + "\n")
+            files.append(str(path))
+        assert run_check([*files, "--json"]) == 1
+        serial = capsys.readouterr().out
+        assert run_check([*files, "--jobs", "2", "--json"]) == 1
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        # The duplicate program is cache-marked in both runs.
+        payload = json.loads(serial)
+        assert payload["programs"][-1]["cached"] is True
+        assert "duration_ms" not in payload["programs"][0]
+
+    def test_jobs_equals_form_and_cached_marker(self, good, capsys):
+        assert run_check([str(good), str(good), "--jobs=2"]) == 0
+        out = capsys.readouterr().out
+        assert f"{good}: ok: Int * Bool\n" in out
+        assert f"{good}: ok: Int * Bool (cached)\n" in out
+
+    def test_no_cache_flag(self, good, capsys):
+        assert run_check([str(good), str(good), "--no-cache"]) == 0
+        assert "(cached)" not in capsys.readouterr().out
+
+    def test_bad_jobs_usage_errors(self, good, capsys):
+        assert run_check([str(good), "--jobs"]) == 2
+        assert run_check([str(good), "--jobs", "zero"]) == 2
+        assert run_check([str(good), "--jobs=0"]) == 2
+
+    def test_parse_check_args_pure(self):
+        from repro.cli import parse_check_args
+
+        opts = parse_check_args(
+            ["a.fml", "-", "--jobs", "4", "--no-cache", "--engine=hmf"]
+        )
+        assert opts["files"] == ["a.fml", "-"]
+        assert opts["jobs"] == 4
+        assert opts["cache"] is False
+        assert opts["engine"] == "hmf"
+        assert isinstance(parse_check_args(["--wat"]), str)
+
+
 class TestBenchCommand:
     def test_default_command_writes_json(self):
         from repro.cli import BENCH_DEFAULT_SUITES, build_bench_command

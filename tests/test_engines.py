@@ -1,0 +1,189 @@
+"""The pluggable engine boundary: protocol, registry, conformance.
+
+The acceptance bar: all built-in engines resolve through the registry
+(no string dispatch left in `api.py`), every registered engine answers
+the whole Figure 1/2 corpus through the Session surface without leaking
+exceptions, the freezeml engine's verdicts still match the paper's
+table, and a third-party engine registered at runtime is usable end to
+end -- `Session(engine=...)`, `repro check --engine=...` -- with no
+changes anywhere else.
+"""
+
+import pytest
+
+from repro.api import ENGINES, Result, Session
+from repro.core.types import TCon
+from repro.engines import (
+    Engine,
+    FreezeMLEngine,
+    HMFEngine,
+    MLEngine,
+    SystemFEngine,
+    engine_names,
+    get_engine,
+    register_engine,
+    unregister_engine,
+)
+from repro.corpus.examples import EXAMPLES
+
+
+BUILTINS = ("freezeml", "hmf", "ml", "systemf")
+
+
+class DummyEngine(Engine):
+    """A deliberately silly third-party engine: everything is an Int."""
+
+    name = "dummy"
+    supports_strategy = False
+    generalises = False
+
+    def infer(self, term, env, **context):
+        return TCon("Int")
+
+
+@pytest.fixture()
+def dummy_engine():
+    engine = register_engine(DummyEngine)
+    try:
+        yield engine
+    finally:
+        unregister_engine("dummy")
+
+
+class TestRegistry:
+    def test_builtins_registered_in_canonical_order(self):
+        assert engine_names()[:4] == BUILTINS
+
+    def test_engines_view_is_live_and_tuple_like(self):
+        assert len(ENGINES) >= 4
+        assert list(ENGINES) == list(engine_names())
+        assert "hmf" in ENGINES and "mlton" not in ENGINES
+        assert ENGINES[0] == "freezeml"
+        assert repr(ENGINES) == repr(engine_names())
+        hash(ENGINES)  # usable as a dict key / in sets, like the old tuple
+
+    def test_registration_appears_in_engines_immediately(self, dummy_engine):
+        assert "dummy" in ENGINES
+        assert "dummy" in engine_names()
+
+    def test_get_engine_resolves_names_and_instances(self):
+        assert isinstance(get_engine("freezeml"), FreezeMLEngine)
+        instance = HMFEngine()
+        assert get_engine(instance) is instance
+
+    def test_unknown_engine_lists_registered_names(self):
+        with pytest.raises(ValueError, match="freezeml"):
+            get_engine("mlton")
+
+    def test_double_registration_is_loud(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine(FreezeMLEngine)
+
+    def test_replace_and_unregister(self):
+        first = register_engine(DummyEngine)
+        try:
+            second = register_engine(DummyEngine(), replace=True)
+            assert get_engine("dummy") is second is not first
+        finally:
+            unregister_engine("dummy")
+        with pytest.raises(ValueError):
+            unregister_engine("dummy")
+
+    def test_nameless_or_non_engine_rejected(self):
+        class Nameless(Engine):
+            def infer(self, term, env, **context):  # pragma: no cover
+                raise AssertionError
+
+        with pytest.raises(ValueError):
+            register_engine(Nameless)
+        with pytest.raises(TypeError):
+            register_engine(object())  # type: ignore[arg-type]
+
+    def test_capability_flags(self):
+        assert FreezeMLEngine.supports_strategy and FreezeMLEngine.generalises
+        assert SystemFEngine.supports_strategy and not SystemFEngine.generalises
+        assert not HMFEngine.supports_strategy and HMFEngine.generalises
+        assert not MLEngine.supports_strategy and MLEngine.generalises
+
+
+class TestCrossEngineConformance:
+    """Every registered engine over the Figure 1/2 corpus verdict table:
+    structured results only, never exceptions, freezeml verdicts exact."""
+
+    CORPUS = [x for x in EXAMPLES if not x.extra_env]
+
+    @pytest.mark.parametrize("engine", BUILTINS)
+    def test_engine_answers_whole_corpus_through_session(self, engine):
+        session = Session(engine=engine)
+        for example in self.CORPUS:
+            result = session.fork().infer(example.source)
+            assert isinstance(result, Result)
+            assert result.engine == engine
+            if not result.ok:
+                assert result.diagnostics, (engine, example.id)
+
+    def test_freezeml_verdicts_match_the_paper_table(self):
+        session = Session()
+        for example in self.CORPUS:
+            if example.flag == "no-vr":
+                continue  # F10 needs value_restriction=False by design
+            result = session.fork().infer(example.source)
+            assert result.ok == example.well_typed, (example.id, result)
+
+    def test_engines_disagree_where_the_paper_says_they_do(self):
+        # The canonical separations, now answered via registry dispatch:
+        # HMF types `poly id` by implicit generalisation; FreezeML needs
+        # the freeze marker; the ML fragment rejects freezing outright.
+        assert not Session(engine="freezeml").infer("poly id").ok
+        assert Session(engine="hmf").infer("poly id").ok
+        assert Session(engine="ml").infer("poly id").ok is False
+        assert Session(engine="systemf").infer("poly ~id").ok
+
+
+class TestThirdPartyEngine:
+    """The redesign's point: registration is the only integration step."""
+
+    def test_dummy_engine_through_session(self, dummy_engine):
+        session = Session(engine="dummy")
+        assert session.engine == "dummy"
+        result = session.infer("poly ~id")
+        assert result.ok and result.type_str == "Int"
+        assert result.engine == "dummy"
+        # check/check_many route through the same dispatch.
+        assert session.check("fun x -> x").type_str == "Int"
+        assert [r.type_str for r in session.check_many(["1", "true"])] == [
+            "Int",
+            "Int",
+        ]
+
+    def test_dummy_engine_as_instance(self):
+        # An unregistered instance also works (no global state needed).
+        session = Session(engine=DummyEngine())
+        assert session.engine == "dummy"
+        assert session.infer("true").type_str == "Int"
+
+    def test_dummy_engine_per_call_override(self, dummy_engine):
+        session = Session()
+        assert session.infer("true").type_str == "Bool"
+        assert session.infer("true", engine="dummy").type_str == "Int"
+        # The session engine is untouched by the override.
+        assert session.engine == "freezeml"
+
+    def test_dummy_engine_through_cli_check(self, dummy_engine, tmp_path, capsys):
+        from repro.cli import run_check
+
+        program = tmp_path / "anything.fml"
+        program.write_text("poly id\n")
+        assert run_check([str(program)]) == 1  # freezeml rejects it...
+        capsys.readouterr()
+        assert run_check([str(program), "--engine=dummy"]) == 0  # ...dummy doesn't
+        assert "ok: Int" in capsys.readouterr().out
+
+    def test_dummy_engine_definition_path(self, dummy_engine):
+        session = Session(engine="dummy")
+        defined = session.define("x", "fun x -> x")
+        assert defined.ok and session.bindings["x"] == "Int"
+
+    def test_unknown_engine_still_valueerror(self):
+        with pytest.raises(ValueError):
+            Session(engine="dummy-not-registered")
