@@ -40,12 +40,17 @@ byte-reproducible at any ``--jobs`` setting.  Exit status: 0 all
 programs typecheck, 1 some failed, 2 usage error.
 
     python -m repro bench [--quick] [--all] [--output=FILE]
+                          [--compare=OLD.json]
 
 runs the pytest-benchmark perf suites (solver, unification, scaling,
-service) and writes ``BENCH_solver.json`` -- the perf trajectory baseline that
-future PRs compare against.  ``--quick`` runs each benchmark once with
-timing disabled (the CI smoke mode); ``--all`` includes every benchmark
-module, not just the perf-critical three.
+environment scaling, service) and writes ``BENCH_solver.json`` -- the
+perf trajectory baseline that future PRs compare against.  ``--quick``
+runs each benchmark once with timing disabled (the CI smoke mode);
+``--all`` includes every benchmark module, not just the perf-critical
+default set.  ``--compare=OLD.json`` additionally diffs the fresh run
+against a saved baseline and prints per-group speedups, flagging >10%
+regressions (``--compare=BENCH_solver.json`` regenerates the baseline
+in place and diffs against its previous contents).
 """
 
 from __future__ import annotations
@@ -291,8 +296,65 @@ BENCH_DEFAULT_SUITES = (
     "benchmarks/bench_solver.py",
     "benchmarks/bench_unification.py",
     "benchmarks/bench_scaling.py",
+    "benchmarks/bench_env_scaling.py",
     "benchmarks/bench_service.py",
 )
+
+
+def bench_means(doc: dict) -> "dict[tuple[str, str], float]":
+    """``(group, name) -> mean seconds`` from a pytest-benchmark JSON doc."""
+    out: dict[tuple[str, str], float] = {}
+    for bench in doc.get("benchmarks", ()):
+        out[(bench.get("group") or "", bench["name"])] = bench["stats"]["mean"]
+    return out
+
+
+def format_bench_comparison(
+    old_doc: dict, new_doc: dict, regression_threshold: float = 1.10
+) -> list[str]:
+    """Render a per-group speedup/regression table between two bench runs.
+
+    ``speedup`` is old/new mean (>1 is faster now).  Benchmarks present
+    in only one run are listed separately; a new mean more than
+    ``regression_threshold`` times the old one is flagged.  Pure
+    function over the JSON documents, so it is unit-testable without
+    timing anything.
+    """
+    old = bench_means(old_doc)
+    new = bench_means(new_doc)
+    lines: list[str] = []
+    groups: dict[str, list[tuple[str, float, float]]] = {}
+    for key in old.keys() & new.keys():
+        group, name = key
+        groups.setdefault(group, []).append((name, old[key], new[key]))
+    for group in sorted(groups):
+        rows = sorted(groups[group])
+        ratios = [o / n for _, o, n in rows if n > 0]
+        geo = 1.0
+        for r in ratios:
+            geo *= r
+        geo **= 1 / len(ratios) if ratios else 1
+        lines.append(f"{group}  (geomean speedup {geo:.2f}x)")
+        for name, o, n in rows:
+            speedup = o / n if n > 0 else float("inf")
+            flag = ""
+            if speedup < 1.0 and (n / o if o > 0 else 0) > regression_threshold:
+                flag = "  ** REGRESSION"
+            lines.append(
+                f"  {name}: {o * 1e3:.3f} ms -> {n * 1e3:.3f} ms"
+                f"  ({speedup:.2f}x){flag}"
+            )
+    only_old = sorted(old.keys() - new.keys())
+    only_new = sorted(new.keys() - old.keys())
+    if only_old:
+        lines.append(
+            "only in baseline: " + ", ".join(f"{g}:{n}" for g, n in only_old)
+        )
+    if only_new:
+        lines.append(
+            "only in new run: " + ", ".join(f"{g}:{n}" for g, n in only_new)
+        )
+    return lines
 
 
 def build_bench_command(
@@ -332,12 +394,35 @@ def run_bench(argv: list[str]) -> int:
     unknown = [
         a
         for a in argv
-        if a not in ("--quick", "--all") and not a.startswith("--output=")
+        if a not in ("--quick", "--all")
+        and not a.startswith("--output=")
+        and not a.startswith("--compare=")
     ]
     if unknown:
         print(f"error: unknown bench option(s): {' '.join(unknown)}")
-        print("usage: python -m repro bench [--quick] [--all] [--output=FILE]")
+        print(
+            "usage: python -m repro bench [--quick] [--all] [--output=FILE]"
+            " [--compare=OLD.json]"
+        )
         return 2
+    compare_path = None
+    for a in argv:
+        if a.startswith("--compare="):
+            compare_path = os.path.abspath(a.split("=", 1)[1])
+    baseline = None
+    if compare_path is not None:
+        if "--quick" in argv:
+            print("error: --compare needs a timed run (drop --quick)")
+            return 2
+        # Load the baseline up front: the fresh run may overwrite the
+        # file (`--compare=BENCH_solver.json` regenerates in place and
+        # diffs against the previous contents).
+        try:
+            with open(compare_path) as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {compare_path}: {exc}")
+            return 2
     # The pytest subprocess runs from the repo root; anchor user-given
     # relative output paths to the caller's cwd so the file lands (and
     # the success message reads) where they expect.
@@ -367,6 +452,12 @@ def run_bench(argv: list[str]) -> int:
         # actually landed.
         resolved = output if os.path.isabs(output) else str(root / output)
         print(f"benchmark results written to {resolved}")
+        if baseline is not None:
+            with open(resolved) as fh:
+                fresh = json.load(fh)
+            print(f"\ncomparison against {compare_path}:")
+            for line in format_bench_comparison(baseline, fresh):
+                print(line)
     return code
 
 

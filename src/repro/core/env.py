@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from .types import Type, ftv
+from .types import Type, ftv_set
 from ..errors import UnboundVariableError
 
 
@@ -86,9 +86,17 @@ class TypeEnv:
         return env
 
     def free_type_vars(self) -> frozenset[str]:
+        """Free variables of every entry (boundary use only).
+
+        Inference never sweeps the environment like this any more -- the
+        solver's level discipline answers reachability per variable --
+        but the classic ``ftv(Gamma)`` remains for paper-shaped callers
+        (e.g. the eager ML ``gen``).  Uses the memoised per-node sets:
+        environment entries are stable, so repeated calls are cheap.
+        """
         out: set[str] = set()
         for ty in self._map.values():
-            out.update(ftv(ty))
+            out.update(ftv_set(ty))
         return frozenset(out)
 
     def __repr__(self) -> str:

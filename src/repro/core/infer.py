@@ -66,7 +66,6 @@ from .types import (
     Type,
     arrow,
     forall,
-    ftv,
     ftv_set,
     split_foralls,
     tcon_unchecked,
@@ -254,10 +253,10 @@ class Inferencer:
             if not isinstance(ty, TForall):
                 return ty, (None if self._no_elab else elab.var(term.name, ty, ()))
             prefix, body = split_foralls(ty)
-            fresh = tuple(self.supply.fresh_flexible() for _ in prefix)
+            fresh = self.supply.fresh_flexibles(len(prefix))
             solver.declare_all(fresh, Kind.POLY)
-            inst = instantiation_from(prefix, [TVar(f) for f in fresh])
             type_args = tuple(TVar(f) for f in fresh)
+            inst = instantiation_from(prefix, type_args)
             return inst(body), (
                 None if self._no_elab else elab.var(term.name, ty, type_args)
             )
@@ -272,12 +271,15 @@ class Inferencer:
             # Lam's own type is an arrow, which no extension rewrites.)
             supply = self.supply
             kinds = solver.kinds
+            levels = solver.levels
+            level = solver.level
             frames: list[tuple[str, TVar, Any]] = []
             t: Term = term
             try:
                 while isinstance(t, Lam):
                     a = supply.fresh_flexible()
                     kinds[a] = Kind.MONO
+                    levels[a] = level
                     param_ty = tvar_unchecked(a)
                     frames.append((t.param, param_ty, gamma._push(t.param, param_ty)))
                     t = t.body
@@ -353,25 +355,34 @@ class Inferencer:
     def _infer_let(self, delta, gamma, term: Let):
         elab = self.elaborator
         solver = self.solver
-        ambient = solver.flexible_names()  # Theta at entry
-        bound_ty, bound_p = self.infer_node(delta, gamma, term.bound)
-        bound_ty = solver.zonk(bound_ty)
+        # The bound term is inferred one level deeper; every flexible
+        # variable it creates carries that level unless binding lowered
+        # it into the ambient region.
+        solver.enter_level()
+        try:
+            bound_ty, bound_p = self.infer_node(delta, gamma, term.bound)
+            bound_ty = solver.zonk(bound_ty)
+        finally:
+            solver.leave_level()
 
-        # Delta' = ftv(theta1) over Theta : flexible variables reachable
-        # from the ambient context (identity images included).
-        reachable: set[str] = set()
-        for name in ambient:
-            reachable.update(ftv_set(solver.zonk(TVar(name))))
         # Delta''' = ftv(A) - (Delta, Delta') : generalisation candidates,
         # in first-occurrence order (quantifier order is significant).
-        candidates = tuple(
-            v for v in ftv(bound_ty) if v not in delta and v not in reachable
-        )
+        # Read off the level stamps -- rigid variables carry none, and a
+        # variable reachable from the ambient context (the paper's
+        # Delta' = ftv(theta1) over Theta) was lowered to the ambient
+        # level when it entered an image -- so this is O(|A|), with no
+        # zonk sweep over the environment.
+        candidates = solver.generalisable(bound_ty)
         binders = candidates if self._generalisable(term.bound) else ()
 
-        # Theta1' = demote(mono, Theta1, Delta''') ; then drop the binders.
+        # Theta1' = demote(mono, Theta1, Delta''') ; then drop the
+        # binders, or pin declined candidates to the outer level so an
+        # enclosing `let` cannot capture them.
         solver.demote(candidates)
-        solver.undeclare_all(binders)
+        if binders:
+            solver.undeclare_all(binders)
+        else:
+            solver.lower_to_current(candidates)
 
         var_ty = forall(binders, bound_ty)
         token = gamma._push(term.var, var_ty)
@@ -391,21 +402,28 @@ class Inferencer:
         solver = self.solver
         binders, ann_body = self._split(term.ann, term.bound)
         delta_inner = delta.extend_all(binders, Kind.MONO)
-        ambient = solver.flexible_names()  # Theta at entry
 
-        bound_ty, bound_p = self.infer_node(delta_inner, gamma, term.bound)
-        solver.unify(delta_inner, ann_body, bound_ty, self.supply)
-
-        # The annotation's own quantified variables must not leak into the
-        # ambient context (Figure 16's `assert ftv(theta2) # Delta'`).
-        binder_set = set(binders)
-        escaped: set[str] = set()
-        for name in ambient:
-            escaped.update(ftv_set(solver.zonk(TVar(name))) & binder_set)
-        if escaped:
-            raise SkolemEscapeError(
-                sorted(escaped)[0], f"annotation `{term.ann}` on {term.var}"
-            )
+        # The annotation's own quantified variables must not leak into
+        # the ambient context (Figure 16's `assert ftv(theta2) # Delta'`).
+        # They are stamped as rigid constants one level deeper, so any
+        # binding that would leak one fails the level comparison at bind
+        # time -- no post-hoc zonk sweep over the ambient variables.
+        solver.enter_level()
+        saved = solver.stamp_rigid(binders)
+        try:
+            bound_ty, bound_p = self.infer_node(delta_inner, gamma, term.bound)
+            solver.unify(delta_inner, ann_body, bound_ty, self.supply)
+        except SkolemEscapeError as exc:
+            if exc.var in binders and not getattr(exc, "annotated", False):
+                wrapped = SkolemEscapeError(
+                    exc.var, f"annotation `{term.ann}` on {term.var}"
+                )
+                wrapped.annotated = True
+                raise wrapped from exc
+            raise
+        finally:
+            solver.restore_rigid(saved)
+            solver.leave_level()
 
         token = gamma._push(term.var, term.ann)
         try:

@@ -20,9 +20,10 @@ Design
 * ``store`` -- the binding store: flexible variable name -> the type it
   was solved to.  A variable is *either* in ``kinds`` (unsolved) *or* in
   ``store`` (solved), never both -- binding moves it across.
-* ``trail`` -- the names bound, in order; used to delimit the bindings
-  made while unifying under a quantifier so that skolem escape can be
-  checked on exactly that segment (Figure 15's ``ftv(theta)`` premise).
+* ``trail`` -- the names bound, in order.  (It once delimited the
+  bindings made under a quantifier for a post-hoc skolem-escape scan;
+  levels check escapes at bind time now -- see below -- and the trail
+  survives as a cheap observability/debugging record.)
 
 ``unify`` binds variables in place in near-constant time per binding;
 variable-to-variable chains are collapsed by path compression in
@@ -32,6 +33,41 @@ elaboration payloads) are allowed to go *stale* -- they may mention
 solved variables -- and are repaired by :meth:`SolverState.zonk`, which
 chases bindings with cycle detection and memoises fully-resolved store
 entries back into the store.
+
+Levels (ranks)
+--------------
+
+On top of the store the solver keeps Rémy-style *levels*, the discipline
+behind OCaml's inferencer (see also the constraint-based FreezeML
+follow-up, Emrich et al. 2022):
+
+* ``level`` is the current region counter.  ``let`` generalisation
+  points and quantifier descents in ``unify`` enter a deeper level;
+* every fresh flexible variable is stamped with the level current at its
+  creation (``levels``).  Binding a variable propagates the *minimum*
+  level through its (zonked) image -- :meth:`_adjust_levels` -- so at any
+  moment a variable's level is the shallowest region it is reachable
+  from;
+* skolems invented by the quantifier case of ``unify`` and the rigid
+  binders of an annotated ``let`` are *level-stamped constants*
+  (``rigid_levels``).  A binding whose image mentions a rigid constant
+  deeper than the bound variable's own level is exactly a skolem escape,
+  detected at bind time by one integer comparison per free variable.
+
+The payoff is that the two judgements the paper phrases as environment
+sweeps become per-variable comparisons:
+
+* generalisation at ``let`` quantifies exactly the free variables of the
+  bound type whose level exceeds the ``let``'s entry level -- no
+  ``ftv(zonk(...))`` sweep over the ambient refined environment;
+* the skolem-escape premise of Figure 15 (``c not in ftv(theta)``) and
+  the annotated-let premise (``ftv(theta2) # Delta'``) need no post-hoc
+  scan over the trail segment or the ambient variables at all.
+
+Quantifier unification accordingly never substitutes binder -> skolem
+into the bodies: ``_unify`` threads per-side binder maps (binder name ->
+skolem) and translates bound occurrences lazily at the variable head,
+making ``forall`` towers O(depth) instead of O(depth^2).
 
 Zonking discipline
 ------------------
@@ -69,9 +105,9 @@ from .types import (
     TVar,
     Type,
     constructor_arity,
+    ftv,
     ftv_set,
-    is_monotype,
-    rename,
+    tvar_unchecked,
 )
 from ..errors import (
     KindError,
@@ -92,12 +128,22 @@ class SolverState:
     per call at the compatibility boundary of :func:`repro.core.unify.unify`).
     """
 
-    __slots__ = ("kinds", "store", "trail", "_clean")
+    __slots__ = ("kinds", "store", "trail", "levels", "rigid_levels", "level", "_clean")
 
     def __init__(self, theta: KindEnv | None = None):
         self.kinds: dict[str, Kind] = dict(theta.items()) if theta else {}
         self.store: dict[str, Type] = {}
         self.trail: list[str] = []
+        #: Current region counter; bumped by `let` bodies and quantifier
+        #: descents, restored on the way out.
+        self.level: int = 0
+        #: Flexible variable name -> the shallowest level it is reachable
+        #: from (stamped at creation, lowered by :meth:`_adjust_levels`).
+        self.levels: dict[str, int] = dict.fromkeys(self.kinds, 0)
+        #: Level-stamped rigid constants: unification skolems and the
+        #: rigid binders of annotated lets.  Deeper-than-binder entries
+        #: appearing in an image are skolem escapes.
+        self.rigid_levels: dict[str, int] = {}
         # Names whose store entry is fully zonked w.r.t. the current
         # store; invalidated wholesale on every new binding.
         self._clean: set[str] = set()
@@ -106,21 +152,30 @@ class SolverState:
 
     def absorb(self, theta: KindEnv) -> None:
         """Add ``theta``'s entries to the refined environment."""
+        lvl = self.level
         for name, kind in theta.items():
             self.kinds[name] = kind
+            self.levels[name] = lvl
 
     def declare(self, name: str, kind: Kind) -> None:
-        """``Theta, name : kind`` -- register a fresh flexible variable."""
+        """``Theta, name : kind`` -- register a fresh flexible variable,
+        stamped with the current level."""
         self.kinds[name] = kind
+        self.levels[name] = self.level
 
     def declare_all(self, names, kind: Kind) -> None:
+        kinds = self.kinds
+        levels = self.levels
+        lvl = self.level
         for name in names:
-            self.kinds[name] = kind
+            kinds[name] = kind
+            levels[name] = lvl
 
     def undeclare_all(self, names) -> None:
         """``Theta - names`` (generalisation removes its binders)."""
         for name in names:
             self.kinds.pop(name, None)
+            self.levels.pop(name, None)
 
     def demote(self, names) -> None:
         """Re-kind the listed flexible variables to MONO (Figure 15)."""
@@ -132,6 +187,93 @@ class SolverState:
     def flexible_names(self) -> tuple[str, ...]:
         """The unsolved flexible variables, in declaration order."""
         return tuple(self.kinds)
+
+    # -- levels --------------------------------------------------------------
+
+    def enter_level(self) -> None:
+        """Open a deeper region (a ``let`` bound term, a quantifier body)."""
+        self.level += 1
+
+    def leave_level(self) -> None:
+        """Close the innermost region."""
+        self.level -= 1
+
+    def lower_to_current(self, names) -> None:
+        """Pin the listed variables to the current level.
+
+        Used when a ``let`` declines to generalise (the value
+        restriction): the candidates survive into the outer region, so
+        an enclosing ``let`` must not mistake them for its own.
+        """
+        levels = self.levels
+        lvl = self.level
+        for name in names:
+            if levels.get(name, lvl) > lvl:
+                levels[name] = lvl
+
+    def generalisable(self, ty: Type) -> tuple[str, ...]:
+        """The generalisation candidates of a (zonked) type, in
+        first-occurrence order: its free flexible variables stamped
+        deeper than the current level.
+
+        This is the paper's ``ftv(A) - (Delta, Delta')`` computed in
+        O(|A|): rigid variables carry no level stamp, and every flexible
+        variable reachable from the ambient context has been lowered to
+        the ambient level at bind time.
+        """
+        levels = self.levels
+        lvl = self.level
+        return tuple(v for v in ftv(ty) if levels.get(v, -1) > lvl)
+
+    def stamp_rigid(self, names) -> list[tuple[str, int | None]]:
+        """Register rigid constants at the current level; returns the
+        shadowed entries for :meth:`restore_rigid` (annotation binder
+        names are user-chosen and may repeat across nested scopes)."""
+        rigid = self.rigid_levels
+        lvl = self.level
+        saved = [(name, rigid.get(name)) for name in names]
+        for name in names:
+            rigid[name] = lvl
+        return saved
+
+    def restore_rigid(self, saved) -> None:
+        """Undo a :meth:`stamp_rigid` with its returned token."""
+        rigid = self.rigid_levels
+        for name, prev in saved:
+            if prev is None:
+                rigid.pop(name, None)
+            else:
+                rigid[name] = prev
+
+    def _adjust_levels(self, name: str, free) -> None:
+        """Propagate ``name``'s level through its image's free variables.
+
+        Flexible variables deeper than ``name`` are lowered to ``name``'s
+        level (they are now reachable from ``name``'s region); a rigid
+        constant *deeper* than ``name`` appearing in the image is a
+        skolem escape.  ``free`` is the image's (cached) free-variable
+        set -- callers reuse the frozenset the occurs check computed.
+
+        Every live level stamp (flexible or rigid) is at most the
+        current level, so a bind at the current level can neither lower
+        anything nor be escaped into -- the common case skips the walk.
+        """
+        levels = self.levels
+        lvl = levels.get(name, 0)
+        if lvl >= self.level:
+            return
+        rigid = self.rigid_levels
+        for v in free:
+            vl = levels.get(v)
+            if vl is not None:
+                if vl > lvl:
+                    levels[v] = lvl
+            elif rigid:
+                rl = rigid.get(v)
+                if rl is not None and rl > lvl:
+                    raise SkolemEscapeError(
+                        v, f"solving `{name}` to a type mentioning `{v}`"
+                    )
 
     def kind_env(self) -> KindEnv:
         """The residual refined environment ``Theta'`` as a KindEnv view."""
@@ -149,8 +291,15 @@ class SolverState:
 
         The raw primitive under :meth:`_bind`; also used by clients that
         layer their own binding discipline (e.g. the ML baseline).
-        Maintains the trail and invalidates the zonk memo.
+        Propagates levels through the image, maintains the trail and
+        invalidates the zonk memo.
         """
+        free = ftv_set(image)
+        if free:
+            self._adjust_levels(name, free)
+        self._record(name, image)
+
+    def _record(self, name: str, image: Type) -> None:
         self.store[name] = image
         self.trail.append(name)
         self._clean.clear()
@@ -223,6 +372,9 @@ class SolverState:
                 return t
             # Peek (never compute) the free-variable cache: when present
             # and disjoint from the store, the subtree is already solved.
+            # (Direct attribute access: this is ftv_peek's TCon/TForall
+            # case inlined into the hottest loop; see its docstring for
+            # the peek-only invariant.)
             free = t._ftv
             # keys().isdisjoint iterates the (small) cached free set
             # rather than the whole store/overlay.
@@ -261,7 +413,14 @@ class SolverState:
                     new_extra = dict(extra) if extra else {}
                     new_extra[var] = TVar(fresh)
                     return TForall(fresh, walk(t.body, bound, new_extra))
-                new_body = walk(t.body, bound | {var}, extra)
+                # Extend the bound set only when the binder shadows a
+                # store/overlay key (it almost never does -- binders are
+                # either user names or retired flexibles): the per-binder
+                # frozenset union would make quantifier towers quadratic.
+                if var in store or (extra is not None and var in extra):
+                    new_body = walk(t.body, bound | {var}, extra)
+                else:
+                    new_body = walk(t.body, bound, extra)
                 if new_body is t.body:
                     return t
                 return TForall(var, new_body)
@@ -304,7 +463,7 @@ class SolverState:
         # shared-structure (DAG) problems linear.  Keyed by id() pair but
         # storing the nodes as values -- the pins keep the objects alive
         # so a recycled address can never produce a false hit.
-        self._unify(delta, left, right, supply, {})
+        self._unify(delta, left, right, supply, {}, None, None)
 
     def _unify(
         self,
@@ -313,7 +472,23 @@ class SolverState:
         right: Type,
         supply: NameSupply,
         done: "dict[tuple[int, int], tuple[Type, Type]]",
+        lmap: "dict[str, str] | None",
+        rmap: "dict[str, str] | None",
     ) -> None:
+        # Bound binder occurrences translate to their shared skolem at
+        # the variable head (``lmap``/``rmap`` are pushed by Case 5).
+        # The maps shadow everything -- store entries and flexible
+        # declarations may reuse a binder's name -- so translate before
+        # pruning.
+        if lmap:
+            if isinstance(left, TVar):
+                sk = lmap.get(left.name)
+                if sk is not None:
+                    left = tvar_unchecked(sk)
+            if isinstance(right, TVar):
+                sk = rmap.get(right.name)
+                if sk is not None:
+                    right = tvar_unchecked(sk)
         left = self.prune(left)
         right = self.prune(right)
         if left is right:
@@ -325,49 +500,106 @@ class SolverState:
 
         # Cases 2/3: an unsolved flexible variable against a type.
         if isinstance(left, TVar) and left.name in self.kinds:
-            self._bind(delta, left.name, right)
+            self._bind(delta, left.name, right, rmap)
             return
         if isinstance(right, TVar) and right.name in self.kinds:
-            self._bind(delta, right.name, left)
+            self._bind(delta, right.name, left, lmap)
             return
 
         # Case 4: matching constructors, pointwise.
         if isinstance(left, TCon) and isinstance(right, TCon):
             if left.con != right.con or len(left.args) != len(right.args):
                 raise UnificationError(left, right, "constructor clash")
+            if lmap:
+                # Under binder maps the memo is unsound: a shared node
+                # pair can unify differently in different binder scopes.
+                for l_arg, r_arg in zip(left.args, right.args):
+                    self._unify(delta, l_arg, r_arg, supply, done, lmap, rmap)
+                return
             key = (id(left), id(right))
             if key in done:
                 return
             for l_arg, r_arg in zip(left.args, right.args):
-                self._unify(delta, l_arg, r_arg, supply, done)
+                self._unify(delta, l_arg, r_arg, supply, done, lmap, rmap)
             done[key] = (left, right)
             return
 
-        # Case 5: quantified types, via a shared fresh skolem.
+        # Case 5: quantified types, via a shared fresh skolem -- a
+        # level-stamped constant.  The bodies are NOT rewritten; the
+        # binder maps carry binder -> skolem and bound occurrences are
+        # translated lazily above, so a quantifier costs O(1) instead of
+        # O(body).  Escape checking is the level comparison in
+        # :meth:`_adjust_levels`: the skolem lives deeper than every
+        # flexible variable in scope, so any binding whose image reaches
+        # it fails at bind time (Figure 15's ``c not in ftv(theta)``).
         if isinstance(left, TForall) and isinstance(right, TForall):
             skolem = supply.fresh_skolem()
-            l_body = rename(left.body, {left.var: skolem})
-            r_body = rename(right.body, {right.var: skolem})
-            mark = len(self.trail)
-            self._unify(delta.extend(skolem, Kind.MONO), l_body, r_body, supply, done)
-            # Escape check: no binding made while solving the bodies may
-            # mention the skolem once fully resolved.
-            for name in self.trail[mark:]:
-                if skolem in ftv_set(self.zonk(TVar(name))):
-                    raise SkolemEscapeError(
-                        skolem, f"unifying `{left}` with `{right}`"
-                    )
+            self.level += 1
+            self.rigid_levels[skolem] = self.level
+            if lmap is None:
+                lmap = {}
+                rmap = {}
+            l_var, r_var = left.var, right.var
+            l_prev = lmap.get(l_var, _MISSING)
+            r_prev = rmap.get(r_var, _MISSING)
+            lmap[l_var] = skolem
+            rmap[r_var] = skolem
+            try:
+                self._unify(delta, left.body, right.body, supply, done, lmap, rmap)
+            finally:
+                if l_prev is _MISSING:
+                    del lmap[l_var]
+                else:
+                    lmap[l_var] = l_prev
+                if r_prev is _MISSING:
+                    del rmap[r_var]
+                else:
+                    rmap[r_var] = r_prev
+                # Retire the skolem's stamp: nothing mentioning it can
+                # have been stored (that would have been an escape), so
+                # the entry is dead once its scope closes -- and an
+                # empty table keeps later binds on the fast path.
+                del self.rigid_levels[skolem]
+                self.level -= 1
             return
 
         raise UnificationError(left, right)
 
-    def _bind(self, delta: KindEnv, name: str, ty: Type) -> None:
-        """Bind the unsolved flexible ``name`` (Figure 15's var cases)."""
+    def _bind(
+        self,
+        delta: KindEnv,
+        name: str,
+        ty: Type,
+        image_map: "dict[str, str] | None" = None,
+    ) -> None:
+        """Bind the unsolved flexible ``name`` (Figure 15's var cases).
+
+        ``image_map`` is the binder map of ``ty``'s side when binding
+        under quantifiers: a mapped binder free in the image *is* its
+        skolem, and since every flexible variable in scope is shallower
+        than every live skolem, its appearance is an immediate escape
+        (nothing mentioning a bound binder is ever stored).
+        """
         kind = self.kinds[name]
+        if image_map:
+            raw_free = ftv_set(ty)
+            if not image_map.keys().isdisjoint(raw_free):
+                for v in raw_free:
+                    sk = image_map.get(v)
+                    if sk is not None:
+                        raise SkolemEscapeError(
+                            sk, f"binding `{name}` to `{ty}`"
+                        )
         zty = self.zonk(ty)
         free = ftv_set(zty)
         if name in free:
             raise OccursCheckError(name, zty)
+        # Level propagation + rigid-escape check (skolems reached through
+        # the store, annotation binders) before the kinding premise: a
+        # deep rigid constant in the image is an escape, not an unbound
+        # variable.  (Reuses `free`, the occurs check's cached set.)
+        if free:
+            self._adjust_levels(name, free)
         del self.kinds[name]
         if kind is Kind.MONO:
             self.demote(free)
@@ -386,7 +618,7 @@ class SolverState:
                 raise UnificationError(TVar(name), zty, str(exc)) from exc
             if kind is Kind.MONO and not mono:
                 raise MonomorphismError(name, zty)
-        self.set_binding(name, zty)
+        self._record(name, zty)
 
     def _check_wf(self, delta: KindEnv, ty: Type) -> bool:
         """Well-formedness of a binding image (Figure 15's kinding premise).
@@ -430,3 +662,4 @@ class SolverState:
 
 
 _EMPTY_SET: frozenset[str] = frozenset()
+_MISSING = object()

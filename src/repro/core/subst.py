@@ -131,39 +131,66 @@ class Subst:
         """Capture-avoidingly apply the substitution to a type."""
         if not self._map:
             return ty
-        return self._apply(ty, self._map)
+        return self._apply(ty, self._map, None)
 
-    def _apply(self, ty: Type, mapping: dict[str, Type]) -> Type:
+    def _apply(
+        self,
+        ty: Type,
+        mapping: dict[str, Type],
+        range_free: "frozenset[str] | None",
+    ) -> Type:
+        """``range_free`` is the union of the images' free variables,
+        computed lazily at the first quantifier and threaded down while
+        ``mapping`` is unchanged (``None`` = not computed yet)."""
         if isinstance(ty, TVar):
             return mapping.get(ty.name, ty)
         if isinstance(ty, TCon):
             # Reuse the node when no child changes: substitution leaves
             # most subtrees alone, and reallocation would also discard
             # their memoised free-variable sets.
-            new_args = tuple(self._apply(a, mapping) for a in ty.args)
+            new_args = tuple(self._apply(a, mapping, range_free) for a in ty.args)
             if all(new is old for new, old in zip(new_args, ty.args)):
                 return ty
             return TCon(ty.con, new_args)
         if isinstance(ty, TForall):
-            inner = {k: v for k, v in mapping.items() if k != ty.var}
-            if not inner:
-                return ty
-            # Capture check: does the binder collide with any image var?
+            var = ty.var
+            if range_free is None:
+                range_free = frozenset().union(
+                    *(ftv_set(v) for v in mapping.values())
+                )
+            if var not in mapping:
+                # Common case: the binder neither shadows a mapping entry
+                # nor appears in any image -- no domain-restriction dict
+                # copy, no per-binding capture scan, recurse as-is.
+                if var not in range_free:
+                    new_body = self._apply(ty.body, mapping, range_free)
+                    if new_body is ty.body:
+                        return ty
+                    return TForall(var, new_body)
+                inner = mapping
+                inner_range = range_free
+            else:
+                inner = {k: v for k, v in mapping.items() if k != var}
+                if not inner:
+                    return ty
+                inner_range = None  # restricted map: recompute lazily
+            # Capture check: does the binder collide with an image var of
+            # a binding actually reachable from the body?
             image_vars: set[str] = set()
             for name in ftv_set(ty.body):
-                if name == ty.var:
+                if name == var:
                     continue
                 bound_ty = inner.get(name)
                 if bound_ty is not None:
                     image_vars.update(ftv_set(bound_ty))
-            if ty.var in image_vars:
-                fresh = _fresh_binder(ty.var, image_vars | set(inner) | ftv_set(ty.body))
-                body = self._apply(ty.body, {**inner, ty.var: TVar(fresh)})
+            if var in image_vars:
+                fresh = _fresh_binder(var, image_vars | set(inner) | ftv_set(ty.body))
+                body = self._apply(ty.body, {**inner, var: TVar(fresh)}, None)
                 return TForall(fresh, body)
-            new_body = self._apply(ty.body, inner)
+            new_body = self._apply(ty.body, inner, inner_range)
             if new_body is ty.body:
                 return ty
-            return TForall(ty.var, new_body)
+            return TForall(var, new_body)
         raise TypeError(f"not a type: {ty!r}")
 
     def __call__(self, ty: Type) -> Type:

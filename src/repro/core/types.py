@@ -265,6 +265,28 @@ def ftv_set(ty: Type) -> frozenset[str]:
     raise TypeError(f"not a type: {ty!r}")
 
 
+def ftv_peek(ty: Type) -> frozenset[str] | None:
+    """The memoised free-variable set of ``ty``, or ``None`` if it has
+    not been computed yet (``TVar`` is always available -- a singleton).
+
+    **Invariant (peek, don't compute, on hot paths).**  ``ftv_set``
+    memoises per node, but *computing* it materialises a frozenset for
+    every subtree: on a long chain of n distinct variables that is
+    O(n^2) work and allocation.  Code that runs per unification step or
+    per zonked node -- the solver's zonk short-circuit, ``ftv``'s
+    pruning, the level-adjustment walk -- must therefore only ever use
+    this peek (or reuse a set a caller already computed, as
+    ``SolverState._bind`` hands its occurs-check set to the level
+    walk), falling back to a plain traversal when the cache is cold.
+    Boundary code that looks at a type once (environment entries at
+    ``Var`` lookup, generalisation of a zonked bound type) may compute,
+    which warms the cache for every later peek.
+    """
+    if isinstance(ty, TVar):
+        return frozenset((ty.name,))
+    return ty._ftv
+
+
 def occurs(name: str, ty: Type) -> bool:
     """Does ``name`` occur free in ``ty``?"""
     return name in ftv_set(ty)
@@ -331,7 +353,12 @@ def rename(ty: Type, mapping: dict[str, str]) -> Type:
     if isinstance(ty, TCon):
         return TCon(ty.con, tuple(rename(arg, mapping) for arg in ty.args))
     if isinstance(ty, TForall):
-        inner = {k: v for k, v in mapping.items() if k != ty.var}
+        # Restrict the mapping only when the binder shadows an entry --
+        # the common absent-binder case reuses the dict as-is.
+        if ty.var in mapping:
+            inner = {k: v for k, v in mapping.items() if k != ty.var}
+        else:
+            inner = mapping
         if ty.var in inner.values():
             fresh = _fresh_variant(ty.var, set(inner.values()) | ftv_set(ty.body))
             body = rename(ty.body, {**inner, ty.var: fresh})

@@ -20,16 +20,20 @@ Salient points, all from the paper:
   This is how "never guess polymorphism" is enforced during solving.
 
 * Quantified types unify by skolemisation: both bodies are instantiated
-  with the same fresh *rigid* variable ``c``, and after unifying we check
-  that ``c`` did not escape into the substitution.
+  with the same fresh *rigid* variable ``c``, and ``c`` must not escape
+  into the substitution.
 
 Since the solver rework, this module is a thin compatibility boundary:
 the work happens on a mutable :class:`~repro.core.solver.SolverState`
 (in-place binding with path compression instead of eager ``Subst``
 composition), and the paper-shaped ``(Theta', theta)`` pair is
-synthesised from the store on the way out.  The paper-literal algorithm
-survives as :func:`repro.core.reference.reference_unify` for
-differential testing.
+synthesised from the store on the way out.  Skolemisation is performed
+by *level-stamped* constants: the solver never rewrites the quantified
+bodies (binder occurrences translate through per-side maps at the
+variable head) and the escape premise is a per-variable level
+comparison at bind time rather than a scan over the bindings made under
+the quantifier.  The paper-literal algorithm survives as
+:func:`repro.core.reference.reference_unify` for differential testing.
 """
 
 from __future__ import annotations

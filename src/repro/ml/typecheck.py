@@ -88,14 +88,21 @@ class MLInferencer:
     def __init__(self, supply: NameSupply | None = None, fixed: frozenset[str] = frozenset()):
         self.supply = supply or NameSupply()
         self.fixed = fixed
-        # The union-find binding store, pruning and zonking are shared
-        # with the FreezeML core; ML only layers its own binding
-        # discipline (monotypes everywhere, `fixed` as the rigid set)
-        # and error type on top.
+        # The union-find binding store, pruning, zonking and the level
+        # (rank) discipline are shared with the FreezeML core; ML only
+        # layers its own binding rules (monotypes everywhere, `fixed` as
+        # the rigid set) and error type on top.
         self._state = SolverState()
         self._store = self._state.store
+        self._levels = self._state.levels
 
     # -- store helpers ------------------------------------------------------
+
+    def _fresh(self) -> TVar:
+        """A fresh unification variable stamped with the current level."""
+        name = self.supply.fresh_flexible()
+        self._levels[name] = self._state.level
+        return TVar(name)
 
     def _prune(self, ty: Type) -> Type:
         return self._state.prune(ty)
@@ -107,9 +114,15 @@ class MLInferencer:
         zty = self._zonk(ty)
         if not is_monotype(zty):
             raise MLTypeError(f"ML cannot bind `{name}` to polymorphic `{zty}`")
-        if name in ftv_set(zty):
+        free = ftv_set(zty)
+        if name in free:
             raise MLTypeError(f"occurs check: `{name}` in `{zty}`")
-        self._state.set_binding(name, zty)
+        # set_binding inlined: reuse the occurs check's free set for the
+        # level propagation, then record.
+        state = self._state
+        if free:
+            state._adjust_levels(name, free)
+        state._record(name, zty)
 
     def _unify(self, left: Type, right: Type) -> None:
         left = self._prune(left)
@@ -142,6 +155,7 @@ class MLInferencer:
         """
         self._state = SolverState()
         self._store = self._state.store
+        self._levels = self._state.levels
         ty = self._infer(gamma.copy_for_mutation(), term)
         store = self._store
         if store:
@@ -168,9 +182,7 @@ class MLInferencer:
             names, body = split_foralls(scheme)
             if not names:
                 return body
-            inst = Subst(
-                {name: TVar(self.supply.fresh_flexible()) for name in names}
-            )
+            inst = Subst({name: self._fresh() for name in names})
             return inst(body)
         if isinstance(term, IntLit):
             return INT
@@ -179,7 +191,7 @@ class MLInferencer:
         if isinstance(term, StrLit):
             return STRING
         if isinstance(term, Lam):
-            param = TVar(self.supply.fresh_flexible())
+            param = self._fresh()
             token = gamma._push(term.param, param)
             try:
                 body_ty = self._infer(gamma, term.body)
@@ -189,11 +201,16 @@ class MLInferencer:
         if isinstance(term, App):
             fn_ty = self._infer(gamma, term.fn)
             arg_ty = self._infer(gamma, term.arg)
-            result = TVar(self.supply.fresh_flexible())
+            result = self._fresh()
             self._unify(fn_ty, TCon("->", (arg_ty, result)))
             return self._prune(result)
         if isinstance(term, Let):
-            bound_ty = self._infer(gamma, term.bound)
+            state = self._state
+            state.enter_level()
+            try:
+                bound_ty = self._infer(gamma, term.bound)
+            finally:
+                state.leave_level()
             scheme = self._generalise_solved(gamma, bound_ty, term.bound)
             token = gamma._push(term.var, scheme)
             try:
@@ -203,22 +220,28 @@ class MLInferencer:
         raise MLTypeError(f"not an ML term: {term}")
 
     def _generalise_solved(self, gamma: TypeEnv, ty: Type, bound: Term) -> Type:
-        """Generalise against the *solved* view of ``gamma``."""
+        """Generalise the *solved* bound type by level comparison.
+
+        The classic ``gen`` subtracts the environment's free variables;
+        with Rémy-style levels those are exactly the variables at or
+        below the let's entry level (binding lowers a variable's level
+        the moment it becomes reachable from outside), so no sweep over
+        ``gamma`` is needed -- O(|type|) per let instead of O(|env|).
+        """
+        state = self._state
         zty = self._zonk(ty)
+        levels = state.levels
+        lvl = state.level
+        deep = tuple(v for v in ftv(zty) if levels.get(v, -1) > lvl)
         if not is_ml_value(bound):
+            # Expansive binding: the candidates stay monomorphic and
+            # survive into the outer region -- pin their level so an
+            # enclosing let cannot generalise them either.
+            state.lower_to_current(deep)
             return zty
-        env_vars: set[str] = set(self.fixed)
-        store = self._store
-        for _, env_ty in gamma.items():
-            free = ftv_set(env_ty)
-            if store.keys().isdisjoint(free):
-                # Entry untouched by solving; its (cached) free set is
-                # already the solved view.
-                env_vars.update(free)
-            else:
-                env_vars.update(ftv_set(self._zonk(env_ty)))
-        names = tuple(v for v in ftv(zty) if v not in env_vars)
-        return forall(names, zty)
+        for v in deep:
+            del levels[v]  # quantified away: no longer a unification var
+        return forall(deep, zty)
 
     def generalise(self, gamma: TypeEnv, ty: Type, bound: Term) -> Type:
         """``gen(Delta, S, M)``: quantify unconstrained variables of values."""

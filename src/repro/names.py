@@ -14,6 +14,12 @@ names from disjoint alphabets that the surface lexer can never produce:
 * internal term variables (used when expanding the ``$``/``@`` sugar)
   look like ``%tmp1``, ...
 
+Names carry no further structure: the solver's level (rank) discipline
+stamps both flavours with their region in side tables on
+:class:`repro.core.solver.SolverState` (``levels``/``rigid_levels``)
+rather than encoding levels into names, so names stay stable across
+level adjustments.
+
 User-written identifiers are plain ``[a-z][A-Za-z0-9_']*`` so no capture
 between generated and user names is possible.
 """
@@ -44,6 +50,16 @@ class NameSupply:
         if hint or self._prefix:
             return f"{FLEXIBLE_PREFIX}{self._prefix}{hint}{next(self._counter)}"
         return FLEXIBLE_PREFIX + str(next(self._counter))
+
+    def fresh_flexibles(self, count: int) -> tuple[str, ...]:
+        """Return ``count`` fresh flexible names in one call (the hot
+        instantiation path draws one per quantifier in a prefix)."""
+        counter = self._counter
+        if self._prefix:
+            prefix = FLEXIBLE_PREFIX + self._prefix
+        else:
+            prefix = FLEXIBLE_PREFIX
+        return tuple(prefix + str(next(counter)) for _ in range(count))
 
     def fresh_skolem(self) -> str:
         """Return a fresh rigid skolem name."""

@@ -333,3 +333,87 @@ class TestBenchCommand:
         assert output == "out.json"
         assert "benchmarks" in cmd
         assert cmd[-1] == "--benchmark-json=out.json"
+
+    def test_env_scaling_suite_is_in_the_default_set(self):
+        from repro.cli import BENCH_DEFAULT_SUITES
+
+        assert "benchmarks/bench_env_scaling.py" in BENCH_DEFAULT_SUITES
+
+    def test_compare_rejects_quick_mode(self):
+        from repro.cli import run_bench
+
+        assert run_bench(["--quick", "--compare=whatever.json"]) == 2
+
+    def test_compare_missing_baseline_is_a_usage_error(self, tmp_path):
+        from repro.cli import run_bench
+
+        assert run_bench([f"--compare={tmp_path / 'nope.json'}"]) == 2
+
+    def test_compare_corrupt_baseline_is_a_usage_error(self, tmp_path):
+        from repro.cli import run_bench
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert run_bench([f"--compare={bad}"]) == 2
+
+
+def _bench_doc(entries):
+    return {
+        "benchmarks": [
+            {"group": group, "name": name, "stats": {"mean": mean}}
+            for group, name, mean in entries
+        ]
+    }
+
+
+class TestBenchComparison:
+    def test_speedup_and_regression_rendering(self):
+        from repro.cli import format_bench_comparison
+
+        old = _bench_doc(
+            [
+                ("unify", "t[16]", 0.004),
+                ("unify", "t[4]", 0.001),
+                ("lets", "chain[8]", 0.010),
+            ]
+        )
+        new = _bench_doc(
+            [
+                ("unify", "t[16]", 0.0005),  # 8x faster
+                ("unify", "t[4]", 0.001),  # unchanged
+                ("lets", "chain[8]", 0.020),  # 2x slower: regression
+            ]
+        )
+        lines = format_bench_comparison(old, new)
+        text = "\n".join(lines)
+        assert "unify" in text and "8.00x" in text
+        assert "** REGRESSION" in text
+        # The regression flag is attached to the slowed benchmark only.
+        flagged = [line for line in lines if "REGRESSION" in line]
+        assert len(flagged) == 1 and "chain[8]" in flagged[0]
+
+    def test_small_noise_is_not_flagged(self):
+        from repro.cli import format_bench_comparison
+
+        old = _bench_doc([("g", "a", 0.0100)])
+        new = _bench_doc([("g", "a", 0.0105)])  # 5% slower: noise
+        assert not any(
+            "REGRESSION" in line for line in format_bench_comparison(old, new)
+        )
+
+    def test_disjoint_benchmarks_are_listed(self):
+        from repro.cli import format_bench_comparison
+
+        old = _bench_doc([("g", "gone", 0.01)])
+        new = _bench_doc([("g", "fresh", 0.01)])
+        text = "\n".join(format_bench_comparison(old, new))
+        assert "only in baseline: g:gone" in text
+        assert "only in new run: g:fresh" in text
+
+    def test_geomean_per_group(self):
+        from repro.cli import format_bench_comparison
+
+        old = _bench_doc([("g", "a", 0.004), ("g", "b", 0.001)])
+        new = _bench_doc([("g", "a", 0.001), ("g", "b", 0.001)])
+        (header, *_rows) = format_bench_comparison(old, new)
+        assert header.startswith("g  (geomean speedup 2.00x)")

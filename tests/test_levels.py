@@ -1,0 +1,236 @@
+"""Unit tests for the solver's level (rank) discipline.
+
+Levels make generalisation and skolem-escape checking per-variable
+integer comparisons: fresh flexible variables are stamped with the
+current level, binding propagates the minimum level through the image,
+and rigid constants (unification skolems, annotation binders) deeper
+than the bound variable may not appear in its image.
+"""
+
+import pytest
+
+from repro.core.infer import infer_raw, infer_type
+from repro.core.kinds import Kind, KindEnv
+from repro.core.solver import SolverState
+from repro.core.terms import App, Lam, Let, Var
+from repro.core.types import INT, TVar, arrow, ftv_set, list_of
+from repro.errors import SkolemEscapeError
+from repro.ml.typecheck import MLInferencer, ml_infer_type
+from repro.core.env import TypeEnv
+from tests.helpers import e, flexible, t
+
+EMPTY_DELTA = KindEnv.empty()
+
+
+def solver(**kinds) -> SolverState:
+    return SolverState(flexible(**kinds))
+
+
+class TestStamping:
+    def test_constructor_stamps_theta_at_level_zero(self):
+        s = solver(x="poly", y="mono")
+        assert s.levels == {"x": 0, "y": 0}
+
+    def test_declare_stamps_current_level(self):
+        s = SolverState()
+        s.enter_level()
+        s.declare("a", Kind.POLY)
+        s.enter_level()
+        s.declare_all(("b", "c"), Kind.MONO)
+        assert s.levels == {"a": 1, "b": 2, "c": 2}
+        s.leave_level()
+        s.leave_level()
+        assert s.level == 0
+
+    def test_undeclare_removes_stamps(self):
+        s = SolverState()
+        s.declare("a", Kind.POLY)
+        s.undeclare_all(("a",))
+        assert "a" not in s.levels and "a" not in s.kinds
+
+
+class TestAdjustment:
+    def test_binding_lowers_deeper_variables(self):
+        s = SolverState()
+        s.declare("outer", Kind.POLY)  # level 0
+        s.enter_level()
+        s.declare("inner", Kind.POLY)  # level 1
+        s.unify(EMPTY_DELTA, TVar("outer"), list_of(TVar("inner")))
+        assert s.levels["inner"] == 0  # reachable from the outer region
+
+    def test_binding_does_not_raise_shallow_variables(self):
+        s = SolverState()
+        s.declare("a", Kind.POLY)
+        s.enter_level()
+        s.declare("deep", Kind.POLY)
+        s.unify(EMPTY_DELTA, TVar("deep"), list_of(TVar("a")))
+        assert s.levels["a"] == 0
+
+    def test_adjustment_is_transitive_through_solved_images(self):
+        # outer := List inner; then inner := List deepest.  Each image is
+        # zonked at bind time, so `deepest` is lowered when it becomes
+        # reachable from level 0 -- no later sweep needed.
+        s = SolverState()
+        s.declare("outer", Kind.POLY)
+        s.enter_level()
+        s.declare("inner", Kind.POLY)
+        s.unify(EMPTY_DELTA, TVar("outer"), list_of(TVar("inner")))
+        s.enter_level()
+        s.declare("deepest", Kind.POLY)
+        s.unify(EMPTY_DELTA, TVar("inner"), list_of(TVar("deepest")))
+        assert s.levels["deepest"] == 0
+
+    def test_set_binding_primitive_also_adjusts(self):
+        s = SolverState()
+        s.declare("a", Kind.POLY)
+        s.enter_level()
+        s.declare("b", Kind.POLY)
+        s.set_binding("a", list_of(TVar("b")))
+        assert s.levels["b"] == 0
+
+
+class TestRigidLevels:
+    def test_deep_rigid_in_image_escapes(self):
+        s = solver(x="poly")
+        s.enter_level()
+        s.stamp_rigid(("sk",))
+        with pytest.raises(SkolemEscapeError):
+            s.set_binding("x", arrow(TVar("sk"), INT))
+
+    def test_rigid_at_same_level_is_fine(self):
+        s = SolverState()
+        s.enter_level()
+        s.declare("x", Kind.POLY)  # created inside the region
+        s.stamp_rigid(("sk",))
+        s.set_binding("x", arrow(TVar("sk"), INT))
+        assert s.store["x"] == arrow(TVar("sk"), INT)
+
+    def test_stamp_restore_roundtrip(self):
+        s = SolverState()
+        saved = s.stamp_rigid(("a",))
+        s.enter_level()
+        inner = s.stamp_rigid(("a",))  # shadowing stamp
+        assert s.rigid_levels["a"] == 1
+        s.restore_rigid(inner)
+        assert s.rigid_levels["a"] == 0
+        s.restore_rigid(saved)
+        assert "a" not in s.rigid_levels
+
+    def test_binder_name_shadowing_a_solved_variable(self):
+        # A forall binder may reuse the name of a solved flexible (the
+        # binder maps shadow the store): bound occurrences must unify as
+        # the binder, never resolve through the store.
+        from repro.core.types import TCon, TForall, product
+
+        INT = TCon("Int")
+        s = solver(q="poly")
+        left = product(TVar("q"), TForall("q", arrow(TVar("q"), TVar("q"))))
+        right = product(INT, TForall("c", arrow(TVar("c"), TVar("c"))))
+        s.unify(EMPTY_DELTA, left, right)
+        assert s.zonk(TVar("q")) == INT
+
+        s2 = solver(q="poly")
+        bad_l = product(TVar("q"), TForall("q", arrow(TVar("q"), INT)))
+        bad_r = product(INT, TForall("c", arrow(INT, INT)))
+        from repro.errors import UnificationError
+
+        with pytest.raises(UnificationError):
+            s2.unify(EMPTY_DELTA, bad_l, bad_r)
+
+    def test_quantifier_unification_stamps_and_restores_level(self):
+        s = solver(x="poly")
+        s.unify(EMPTY_DELTA, t("forall a. a -> x"), t("forall b. b -> Int"))
+        assert s.level == 0
+        assert s.zonk(TVar("x")) == INT
+        # The skolem's stamp is retired with its scope: no stored image
+        # can mention it, and an empty table keeps binds on the fast path.
+        assert s.rigid_levels == {}
+
+
+class TestGeneralisation:
+    def test_candidates_are_the_deep_variables(self):
+        s = SolverState()
+        s.declare("ambient", Kind.POLY)
+        s.enter_level()
+        s.declare("fresh", Kind.POLY)
+        ty = arrow(TVar("ambient"), TVar("fresh"))
+        s.leave_level()
+        assert s.generalisable(ty) == ("fresh",)
+
+    def test_candidates_in_first_occurrence_order(self):
+        s = SolverState()
+        s.enter_level()
+        s.declare_all(("b", "a"), Kind.POLY)
+        ty = arrow(TVar("a"), arrow(TVar("b"), TVar("a")))
+        s.leave_level()
+        assert s.generalisable(ty) == ("a", "b")
+
+    def test_lower_to_current_pins_declined_candidates(self):
+        s = SolverState()
+        s.enter_level()
+        s.declare("r", Kind.POLY)
+        s.leave_level()
+        s.lower_to_current(("r",))
+        assert s.levels["r"] == 0
+        assert s.generalisable(TVar("r")) == ()
+
+    def test_let_generalises_only_its_own_variables(self):
+        # fun p -> let f = fun y -> p in ~f  :  the bound type's variable
+        # for `p` belongs to the ambient region and must stay free.
+        ty = infer_type(e("fun p -> let f = fun y -> p in ~f"))
+        assert str(ty) == "a -> (forall b. b -> a)"
+
+    def test_residual_variables_survive_at_outer_level(self):
+        # Value restriction: `let d = id id in ...` leaves a residual
+        # monomorphic variable, pinned at the let's outer level.
+        result = infer_raw(e("let d = (fun y -> y) (fun z -> z) in d"))
+        solverstate = result.solver
+        residual = ftv_set(result.ty)
+        assert residual  # the chain is monomorphic
+        for name in residual:
+            assert solverstate.levels[name] == 0
+            assert solverstate.kinds[name] is Kind.MONO
+
+
+class TestMLLevels:
+    def test_ml_generalises_deep_variables_only(self):
+        # let f = fun y -> y in f  generalises; the outer parameter does not.
+        ty = ml_infer_type(e("fun p -> let f = fun y -> y in f p"))
+        # `f` is polymorphic (generalised), so `f p : p`'s type.
+        assert ty.con == "->" and ty.args[0] == ty.args[1]
+
+    def test_ml_instance_variables_are_stamped(self):
+        inf = MLInferencer()
+        _subst, ty = inf.infer(
+            TypeEnv([("id", t("forall a. a -> a"))]), e("id")
+        )
+        (var,) = ftv_set(ty)
+        assert inf._state.levels[var] == 0
+
+    def test_ml_value_restriction_pins_levels(self):
+        ty = ml_infer_type(
+            e("let d = (fun y -> y) (fun z -> z) in let w = d in w 1")
+        )
+        assert ty == INT
+
+    def test_ml_residual_not_captured_by_sibling_let(self):
+        from repro.errors import MLTypeError
+
+        term = Let(
+            "d",
+            App(Lam("y", Var("y")), Lam("z", Var("z"))),
+            Let(
+                "w",
+                Var("d"),
+                App(App(Var("pair"), App(Var("w"), Var("one"))), App(Var("w"), Var("tt"))),
+            ),
+        )
+        env = TypeEnv(
+            [
+                ("pair", t("forall a. forall b. a -> b -> a * b")),
+                ("one", INT),
+                ("tt", t("Bool")),
+            ]
+        )
+        with pytest.raises(MLTypeError):
+            ml_infer_type(term, env)
