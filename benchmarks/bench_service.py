@@ -23,7 +23,7 @@ import time
 import pytest
 
 from repro.corpus.examples import EXAMPLES
-from repro.service import SessionConfig, TypecheckService
+from repro.service import FaultPlan, SessionConfig, TypecheckService
 
 #: The serving workload: every self-contained Figure 1 program (a mix of
 #: well-typed and ill-typed, exactly what a frontend sees).
@@ -80,3 +80,34 @@ def test_bench_cache_hit_path(benchmark):
         service.close()
     assert all(r.cached for r in responses)
     assert service.stats.hit_rate > 0.5
+
+
+@pytest.mark.parametrize("jobs", (1, 2))
+@pytest.mark.benchmark(group="service-degraded")
+def test_bench_degraded_batch(benchmark, jobs):
+    """The recovery path: one poison request per batch (a worker-raise
+    at position 1, re-fired every round via ``period``), retried once
+    and degraded to FML911.  ``bench --compare`` against this row
+    catches regressions in the retry/degrade machinery itself --
+    the healthy rows above never execute it.  Quarantine is off so
+    every round pays the full recovery cost rather than a lookup."""
+    plan = FaultPlan(raise_at=(1,), persistent=True, period=len(BATCH))
+    service = TypecheckService(
+        SessionConfig(fault_plan=plan),
+        jobs=jobs,
+        cache=False,
+        max_retries=1,
+        retry_backoff=0.0,
+        quarantine=False,
+    )
+    try:
+        if jobs > 1:
+            service.check_many(BATCH[:1])  # pay pool start-up up front
+        responses = benchmark(service.check_many, BATCH)
+    finally:
+        service.close()
+    degraded = [
+        r for r in responses if any(d.code == "FML911" for d in r.result.diagnostics)
+    ]
+    assert len(degraded) == 1  # exactly the poison request, every round
+    assert any(r.ok for r in responses)  # the rest of the batch still answers

@@ -26,8 +26,13 @@ The main entry points:
   third-party type system answer ``Session(engine=...)`` and
   ``repro check --engine=...`` immediately.
 * :class:`TypecheckService` (:mod:`repro.service`) -- the serving
-  layer: batch checks across a worker-process pool with a result cache
-  and JSON-ready request/response records.
+  layer: batch checks across a worker-process pool with a result cache,
+  JSON-ready request/response records, and fault tolerance (per-request
+  deadlines, crash recovery, :class:`FaultPlan` injection).
+* :class:`Budget` (:mod:`repro.core.solver`) -- the deterministic work
+  budget (``fuel``/``max_depth``) that degrades runaway inference to a
+  stable ``FML901``/``FML902`` diagnostic instead of running away;
+  accepted by :class:`Session` and :class:`SessionConfig`.
 
 * :func:`parse_term` / :func:`parse_type` -- surface syntax.
 * :func:`infer_type` / :func:`infer_definition` / :func:`typecheck` --
@@ -45,9 +50,11 @@ from .engines import Engine, get_engine, register_engine, unregister_engine
 from .service import (
     CheckRequest,
     CheckResponse,
+    FaultPlan,
     SessionConfig,
     TypecheckService,
 )
+from .core.solver import Budget
 from .core.env import TypeEnv
 from .core.infer import (
     infer_definition,
@@ -62,20 +69,31 @@ from .core import terms
 from .core import types
 from .corpus.signatures import prelude, prelude_with
 from .diagnostics import Diagnostic, Severity, Span, diagnostic_from_error
-from .errors import FreezeMLError, TypeInferenceError, UnificationError
+from .errors import (
+    BudgetExceededError,
+    FreezeMLError,
+    ResilienceError,
+    TypeInferenceError,
+    UnificationError,
+    is_resilience_code,
+)
 from .syntax.parser import parse_term, parse_type
 from .syntax.pretty import pretty_term, pretty_type
 
 #: single source of truth for the package version (setup.py reads it).
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ENGINES",
+    "Budget",
+    "BudgetExceededError",
     "CheckRequest",
     "CheckResponse",
     "Diagnostic",
     "Engine",
+    "FaultPlan",
     "FreezeMLError",
+    "ResilienceError",
     "Kind",
     "KindEnv",
     "Result",
@@ -95,6 +113,7 @@ __all__ = [
     "unregister_engine",
     "infer_definition",
     "infer_raw",
+    "is_resilience_code",
     "infer_type",
     "normalise_type",
     "parse_term",

@@ -54,12 +54,13 @@ from .core.derivation import derive as _derive
 from .core.env import TypeEnv
 from .core.infer import ELIMINATOR, VARIABLE, normalise_type
 from .core.kinds import Kind, KindEnv
+from .core.solver import Budget
 from .core.terms import Term
 from .core.types import TCon, TForall, TVar, Type, ftv, rename
 from .corpus.signatures import prelude
 from .diagnostics import Diagnostic, Span, diagnostic_from_error
 from .engines import ENGINES, Engine, get_engine
-from .errors import FreezeMLError
+from .errors import FreezeMLError, RecursionLimitError
 from .extensions.toplevel import desugar_program, parse_program
 from .names import display_names
 from .semantics import eval_freezeml, value_prelude
@@ -170,6 +171,8 @@ class Session:
         value_restriction: bool = True,
         env: TypeEnv | None = None,
         values: dict | None = None,
+        fuel: int | None = None,
+        max_depth: int | None = None,
     ):
         self._engine_impl = get_engine(engine)  # ValueError on unknown names
         self.engine = self._engine_impl.name
@@ -177,6 +180,14 @@ class Session:
         if self.strategy not in (VARIABLE, ELIMINATOR):
             raise ValueError(f"unknown instantiation strategy: {strategy!r}")
         self.value_restriction = value_restriction
+        #: Deterministic work budget for every typing request (None =
+        #: unlimited).  Exhaustion surfaces as the FML901/FML902
+        #: diagnostics; Budget() validates the limits eagerly.
+        self.budget: Budget | None = (
+            Budget(fuel=fuel, max_depth=max_depth)
+            if fuel is not None or max_depth is not None
+            else None
+        )
         self.env = env if env is not None else prelude()
         self.values = values if values is not None else value_prelude()
         #: user-added top-level bindings, name -> pretty type (REPL ``:env``)
@@ -194,6 +205,7 @@ class Session:
         child._engine_impl = self._engine_impl
         child.strategy = self.strategy
         child.value_restriction = self.value_restriction
+        child.budget = self.budget  # frozen dataclass: safe to share
         child.env = self.env  # TypeEnv extension is persistent/immutable
         child.values = dict(self.values)
         child.bindings = dict(self.bindings)
@@ -251,6 +263,7 @@ class Session:
                 strategy=self.strategy,
                 value_restriction=self.value_restriction,
                 spans=spans,
+                budget=self.budget,
             )
         )
         return ty, pretty_type(ty)
@@ -294,6 +307,7 @@ class Session:
             strategy=self.strategy,
             value_restriction=self.value_restriction,
             spans=spans,
+            budget=self.budget,
         )
 
     def infer_definition(
@@ -481,7 +495,15 @@ class Session:
 
     def check(self, source: str) -> Result:
         """Typecheck one program: a bare term, or the program format
-        (auto-detected).  Type only -- nothing is evaluated."""
+        (auto-detected).  Type only -- nothing is evaluated.
+
+        As the serving entrypoint, ``check`` additionally backstops the
+        interpreter's own :class:`RecursionError` (deeply nested source
+        can exhaust the stack in the parser or an unbudgeted engine)
+        with the ``FML912`` diagnostic -- non-deterministic, so never
+        cached; configure ``fuel``/``max_depth`` for the deterministic
+        ``FML901``/``FML902`` guards instead.
+        """
         if _is_program(source):
             try:
                 definitions, main = parse_program(source)
@@ -489,15 +511,21 @@ class Session:
                 spans: SpanTable | None = None
             except FreezeMLError as exc:
                 return self._fail("check", source, exc)
+            except RecursionError:
+                return self._fail("check", source, RecursionLimitError())
         else:
             try:
                 term, spans = self._parse(source)
             except FreezeMLError as exc:
                 return self._fail("check", source, exc)
+            except RecursionError:
+                return self._fail("check", source, RecursionLimitError())
         try:
             ty, shown = self._infer_term(term, spans, self._engine_impl)
         except FreezeMLError as exc:
             return self._fail("check", source, exc)
+        except RecursionError:
+            return self._fail("check", source, RecursionLimitError())
         return Result(
             request="check",
             ok=True,

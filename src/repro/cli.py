@@ -26,6 +26,7 @@ Subcommands::
     python -m repro check FILE... [--json] [--engine=ENGINE]
                                   [--strategy=v|e] [--no-value-restriction]
                                   [--jobs N] [--no-cache]
+                                  [--fuel N] [--max-depth N] [--timeout SECS]
 
 typechecks each file (a bare term, or the ``sig``/``def``/``main``
 program format -- auto-detected; ``-`` reads a program from stdin)
@@ -36,8 +37,18 @@ registered engine: ``freezeml``, ``hmf``, ``ml``, ``systemf``, ...);
 disables the service's result cache; ``--json`` emits machine-readable
 diagnostics (error codes, severities, ``line:column`` spans, offending
 types) on stdout.  Timings are omitted from ``--json`` so the output is
-byte-reproducible at any ``--jobs`` setting.  Exit status: 0 all
-programs typecheck, 1 some failed, 2 usage error.
+byte-reproducible at any ``--jobs`` setting.
+
+``--fuel N`` / ``--max-depth N`` bound solver work deterministically: a
+pathological program degrades to the ``FML901``/``FML902`` diagnostic
+(same verdict at any ``--jobs`` setting) instead of running away.
+``--timeout SECS`` adds the wall-clock backstop: each dispatched
+request gets a deadline, hung workers are preempted and crashed ones
+recovered (``FML910``/``FML911``).  Exit status: 0 all programs
+typecheck, 1 some failed, 2 usage error, 3 some program was *degraded*
+(an FML9xx resilience verdict: budget, deadline or crash) -- a distinct
+code so callers can tell "the program is ill-typed" from "the service
+gave up on it".
 
     python -m repro bench [--quick] [--all] [--output=FILE]
                           [--compare=OLD.json]
@@ -60,6 +71,7 @@ import sys
 
 from .api import Result, Session
 from .diagnostics import render_all
+from .errors import is_resilience_code
 
 BANNER = (
     "FreezeML repl -- PLDI 2020 reproduction.  :help for commands, :quit to exit."
@@ -172,8 +184,23 @@ class Repl:
 
 CHECK_USAGE = (
     "usage: python -m repro check FILE... [--json] [--engine=ENGINE] "
-    "[--strategy=v|e] [--no-value-restriction] [--jobs N] [--no-cache]"
+    "[--strategy=v|e] [--no-value-restriction] [--jobs N] [--no-cache] "
+    "[--fuel N] [--max-depth N] [--timeout SECS]"
 )
+
+#: `check` exit status for batches containing a degraded (FML9xx) verdict.
+EXIT_DEGRADED = 3
+
+
+def _flag_value(argv: list[str], i: int, flag: str) -> tuple[str | None, int]:
+    """The value of ``--flag N`` / ``--flag=N`` at position ``i``;
+    returns ``(raw_or_None, next_i)`` -- ``None`` means the value is
+    missing."""
+    if argv[i] == flag:
+        if i + 1 >= len(argv):
+            return None, i
+        return argv[i + 1], i + 1
+    return argv[i].split("=", 1)[1], i
 
 
 def parse_check_args(argv: list[str]) -> dict | str:
@@ -187,6 +214,9 @@ def parse_check_args(argv: list[str]) -> dict | str:
         "value_restriction": True,
         "jobs": 1,
         "cache": True,
+        "fuel": None,
+        "max_depth": None,
+        "timeout": None,
     }
     i = 0
     while i < len(argv):
@@ -202,19 +232,39 @@ def parse_check_args(argv: list[str]) -> dict | str:
         elif arg == "--no-cache":
             opts["cache"] = False
         elif arg == "--jobs" or arg.startswith("--jobs="):
-            if arg == "--jobs":
-                i += 1
-                if i >= len(argv):
-                    return "--jobs needs a worker count"
-                raw = argv[i]
-            else:
-                raw = arg.split("=", 1)[1]
+            raw, i = _flag_value(argv, i, "--jobs")
+            if raw is None:
+                return "--jobs needs a worker count"
             try:
                 opts["jobs"] = int(raw)
             except ValueError:
                 return f"--jobs needs an integer, got {raw!r}"
             if opts["jobs"] < 1:
                 return f"--jobs must be >= 1, got {opts['jobs']}"
+        elif arg in ("--fuel", "--max-depth") or arg.startswith(
+            ("--fuel=", "--max-depth=")
+        ):
+            flag = "--fuel" if arg.startswith("--fuel") else "--max-depth"
+            raw, i = _flag_value(argv, i, flag)
+            if raw is None:
+                return f"{flag} needs a step limit"
+            try:
+                limit = int(raw)
+            except ValueError:
+                return f"{flag} needs an integer, got {raw!r}"
+            if limit < 1:
+                return f"{flag} must be >= 1, got {limit}"
+            opts["fuel" if flag == "--fuel" else "max_depth"] = limit
+        elif arg == "--timeout" or arg.startswith("--timeout="):
+            raw, i = _flag_value(argv, i, "--timeout")
+            if raw is None:
+                return "--timeout needs a deadline in seconds"
+            try:
+                opts["timeout"] = float(raw)
+            except ValueError:
+                return f"--timeout needs a number of seconds, got {raw!r}"
+            if opts["timeout"] <= 0:
+                return f"--timeout must be positive, got {raw}"
         elif arg == "-":
             opts["files"].append(arg)  # read a program from stdin
         elif arg.startswith("-"):
@@ -257,9 +307,16 @@ def run_check(argv: list[str]) -> int:
         engine=opts["engine"],
         strategy=opts["strategy"],
         value_restriction=opts["value_restriction"],
+        fuel=opts["fuel"],
+        max_depth=opts["max_depth"],
     )
     try:
-        service = TypecheckService(config, jobs=opts["jobs"], cache=opts["cache"])
+        service = TypecheckService(
+            config,
+            jobs=opts["jobs"],
+            cache=opts["cache"],
+            timeout=opts["timeout"],
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -285,6 +342,14 @@ def run_check(argv: list[str]) -> int:
             else:
                 for line in render_all(result.diagnostics, file=path):
                     print(line)
+    if any(
+        is_resilience_code(diag.code)
+        for response in responses
+        for diag in response.result.diagnostics
+    ):
+        # Degraded verdicts (budget/deadline/crash) get their own exit
+        # status: "the service gave up" is not "the program is ill-typed".
+        return EXIT_DEGRADED
     return 0 if all(response.ok for response in responses) else 1
 
 

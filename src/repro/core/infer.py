@@ -39,7 +39,7 @@ from typing import Any
 
 from .env import TypeEnv
 from .kinds import Kind, KindEnv
-from .solver import SolverState
+from .solver import Budget, SolverState
 from .subst import Subst, instantiation_from
 from .terms import (
     App,
@@ -182,6 +182,7 @@ class Inferencer:
         strategy: str = VARIABLE,
         elaborator: Elaborator | None = None,
         supply: NameSupply | None = None,
+        budget: Budget | None = None,
     ):
         if strategy not in (VARIABLE, ELIMINATOR):
             raise ValueError(f"unknown instantiation strategy: {strategy}")
@@ -189,7 +190,8 @@ class Inferencer:
         self.strategy = strategy
         self.elaborator = elaborator or Elaborator()
         self.supply = supply or NameSupply()
-        self.solver = SolverState()
+        self.budget = budget
+        self.solver = SolverState(budget=budget)
         # With the default (all-no-op) elaborator the hook calls can be
         # skipped entirely -- measurable on large synthetic programs.
         self._no_elab = type(self.elaborator) is Elaborator
@@ -221,7 +223,7 @@ class Inferencer:
         the refined environment and eager substitution views from the
         store.
         """
-        self.solver = SolverState(theta)
+        self.solver = SolverState(theta, budget=self.budget)
         # Work on a private copy: infer_node extends the environment by
         # push/pop mutation, which must never escape to the caller.
         ty, payload = self.infer_node(delta, gamma.copy_for_mutation(), term)
@@ -238,7 +240,26 @@ class Inferencer:
         self, delta: KindEnv, gamma: TypeEnv, term: Term
     ) -> tuple[Type, Any]:
         """Infer ``term``; returns its (possibly un-zonked) type and the
-        elaboration payload.  All effects go through ``self.solver``."""
+        elaboration payload.  All effects go through ``self.solver``.
+
+        Subclasses override *this* method (and call ``super().infer_node``
+        for the fallthrough cases); the budget guard lives here so every
+        recursive descent -- base or extension -- is charged exactly one
+        fuel step and one depth frame per node.  An unbudgeted run takes
+        the early-out path and pays two ``is None`` checks.
+        """
+        solver = self.solver
+        if solver.fuel is None and solver.max_depth is None:
+            return self._infer_node(delta, gamma, term)
+        solver.step_into()
+        try:
+            return self._infer_node(delta, gamma, term)
+        finally:
+            solver.depth -= 1
+
+    def _infer_node(
+        self, delta: KindEnv, gamma: TypeEnv, term: Term
+    ) -> tuple[Type, Any]:
         elab = self.elaborator
         solver = self.solver
 
@@ -464,6 +485,9 @@ def infer_raw(
     ``inferencer_factory`` substitutes an :class:`Inferencer` subclass (or
     any callable accepting the same options); ``repro.api`` uses it to
     wrap ``infer_node`` with source-span attachment for diagnostics.
+    Pass ``budget=Budget(fuel=..., max_depth=...)`` (like any other
+    option) to bound solver work deterministically; exhaustion raises
+    :class:`~repro.errors.BudgetExceededError`.
     """
     env = env or TypeEnv.empty()
     delta = delta or KindEnv.empty()

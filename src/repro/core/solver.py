@@ -97,6 +97,8 @@ existing tests) are unaffected.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from .kinds import Kind, KindEnv
 from .subst import Subst, _fresh_binder
 from .types import (
@@ -110,6 +112,8 @@ from .types import (
     tvar_unchecked,
 )
 from ..errors import (
+    BudgetExceededError,
+    DepthExceededError,
     KindError,
     MonomorphismError,
     OccursCheckError,
@@ -118,7 +122,33 @@ from ..errors import (
 )
 from ..names import NameSupply
 
-__all__ = ["SolverState"]
+__all__ = ["Budget", "SolverState"]
+
+
+@dataclass(frozen=True, slots=True)
+class Budget:
+    """A deterministic work budget for one inference run.
+
+    ``fuel`` bounds solver *steps* -- inference nodes entered,
+    unification steps, variable bindings, zonk resolutions -- and
+    ``max_depth`` bounds the combined inference/unification recursion
+    depth.  Both are pure functions of the program and the limit (no
+    wall clock), so exhaustion yields the same structured verdict
+    serially, under ``--jobs N``, and from the cache.  ``None`` means
+    unlimited; the instrumented paths then cost one predicate each.
+
+    Frozen + slots: hashable, picklable (ships to pool workers inside
+    ``SessionConfig``), and cheap to share between forked sessions.
+    """
+
+    fuel: int | None = None
+    max_depth: int | None = None
+
+    def __post_init__(self):
+        if self.fuel is not None and self.fuel < 1:
+            raise ValueError("fuel must be a positive step count or None")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError("max_depth must be a positive depth or None")
 
 
 class SolverState:
@@ -128,12 +158,39 @@ class SolverState:
     per call at the compatibility boundary of :func:`repro.core.unify.unify`).
     """
 
-    __slots__ = ("kinds", "store", "trail", "levels", "rigid_levels", "level", "_clean")
+    __slots__ = (
+        "kinds",
+        "store",
+        "trail",
+        "levels",
+        "rigid_levels",
+        "level",
+        "_clean",
+        "fuel",
+        "fuel_limit",
+        "max_depth",
+        "depth",
+        "steps",
+    )
 
-    def __init__(self, theta: KindEnv | None = None):
+    def __init__(self, theta: KindEnv | None = None, *, budget: Budget | None = None):
         self.kinds: dict[str, Kind] = dict(theta.items()) if theta else {}
         self.store: dict[str, Type] = {}
         self.trail: list[str] = []
+        #: Remaining fuel (None = unlimited).  The hot paths guard every
+        #: charge behind ``fuel is not None`` so an unbudgeted run pays
+        #: one predicate per step, nothing more.
+        self.fuel: int | None = budget.fuel if budget else None
+        #: The configured limit, kept for the (deterministic) message.
+        self.fuel_limit: int | None = self.fuel
+        #: Recursion-depth guard (None = unguarded) and the live counter
+        #: of guarded inference frames; ``_unify`` recursion stacks its
+        #: own depth on top via an explicit parameter.
+        self.max_depth: int | None = budget.max_depth if budget else None
+        self.depth: int = 0
+        #: Total steps spent so far (observability; grows only when
+        #: fuel is finite).
+        self.steps: int = 0
         #: Current region counter; bumped by `let` bodies and quantifier
         #: descents, restored on the way out.
         self.level: int = 0
@@ -147,6 +204,41 @@ class SolverState:
         # Names whose store entry is fully zonked w.r.t. the current
         # store; invalidated wholesale on every new binding.
         self._clean: set[str] = set()
+
+    # -- deterministic work budget -------------------------------------------
+
+    def spend(self, cost: int = 1) -> None:
+        """Charge ``cost`` steps against the fuel budget.
+
+        No-op when fuel is unlimited; raises :class:`BudgetExceededError`
+        the moment the budget is overdrawn.  Exhaustion depends only on
+        the program and the limit, never the wall clock.
+        """
+        fuel = self.fuel
+        if fuel is None:
+            return
+        self.steps += cost
+        fuel -= cost
+        self.fuel = fuel
+        if fuel < 0:
+            raise BudgetExceededError("fuel", self.fuel_limit)
+
+    def step_into(self) -> None:
+        """Enter one guarded inference frame: spend a fuel step and
+        check the recursion-depth guard.  Callers decrement ``depth``
+        themselves on the way out (a raise aborts the whole run, so a
+        leaked increment on the error path is harmless)."""
+        self.spend()
+        depth = self.depth + 1
+        self.depth = depth
+        max_depth = self.max_depth
+        if max_depth is not None and depth > max_depth:
+            raise DepthExceededError(max_depth)
+
+    @property
+    def guarded(self) -> bool:
+        """Whether any budget dimension is active for this run."""
+        return self.fuel is not None or self.max_depth is not None
 
     # -- refined environment (Theta) ops ------------------------------------
 
@@ -349,6 +441,11 @@ class SolverState:
             # The fully zonked image of the solved variable ``name``.
             if name in clean:
                 return store[name]
+            # One fuel step per store entry materialised (memoisation
+            # keeps repeated zonks amortised O(1), so this charges the
+            # real work, not the traversal).
+            if self.fuel is not None:
+                self.spend()
             if name in active:
                 raise OccursCheckError(name, store[name])
             active.add(name)
@@ -463,7 +560,9 @@ class SolverState:
         # shared-structure (DAG) problems linear.  Keyed by id() pair but
         # storing the nodes as values -- the pins keep the objects alive
         # so a recycled address can never produce a false hit.
-        self._unify(delta, left, right, supply, {}, None, None)
+        # Unification depth stacks on top of whatever inference depth is
+        # live, so the combined guard tracks real interpreter frames.
+        self._unify(delta, left, right, supply, {}, None, None, self.depth)
 
     def _unify(
         self,
@@ -474,7 +573,13 @@ class SolverState:
         done: "dict[tuple[int, int], tuple[Type, Type]]",
         lmap: "dict[str, str] | None",
         rmap: "dict[str, str] | None",
+        depth: int = 0,
     ) -> None:
+        if self.fuel is not None:
+            self.spend()
+        max_depth = self.max_depth
+        if max_depth is not None and depth >= max_depth:
+            raise DepthExceededError(max_depth)
         # Bound binder occurrences translate to their shared skolem at
         # the variable head (``lmap``/``rmap`` are pushed by Case 5).
         # The maps shadow everything -- store entries and flexible
@@ -514,13 +619,13 @@ class SolverState:
                 # Under binder maps the memo is unsound: a shared node
                 # pair can unify differently in different binder scopes.
                 for l_arg, r_arg in zip(left.args, right.args):
-                    self._unify(delta, l_arg, r_arg, supply, done, lmap, rmap)
+                    self._unify(delta, l_arg, r_arg, supply, done, lmap, rmap, depth + 1)
                 return
             key = (id(left), id(right))
             if key in done:
                 return
             for l_arg, r_arg in zip(left.args, right.args):
-                self._unify(delta, l_arg, r_arg, supply, done, lmap, rmap)
+                self._unify(delta, l_arg, r_arg, supply, done, lmap, rmap, depth + 1)
             done[key] = (left, right)
             return
 
@@ -545,7 +650,7 @@ class SolverState:
             lmap[l_var] = skolem
             rmap[r_var] = skolem
             try:
-                self._unify(delta, left.body, right.body, supply, done, lmap, rmap)
+                self._unify(delta, left.body, right.body, supply, done, lmap, rmap, depth + 1)
             finally:
                 if l_prev is _MISSING:
                     del lmap[l_var]
@@ -580,6 +685,8 @@ class SolverState:
         than every live skolem, its appearance is an immediate escape
         (nothing mentioning a bound binder is ever stored).
         """
+        if self.fuel is not None:
+            self.spend()
         kind = self.kinds[name]
         if image_map:
             raw_free = ftv_set(ty)

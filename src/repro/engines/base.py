@@ -16,8 +16,8 @@ to an engine through two methods:
   generalise everywhere or not at all.
 
 Both take the full session context as keywords (``delta``, ``strategy``,
-``value_restriction``, ``spans``); engines ignore what they do not
-model, and declare what they honour through the capability flags
+``value_restriction``, ``spans``, ``budget``); engines ignore what they
+do not model, and declare what they honour through the capability flags
 ``supports_strategy`` and ``generalises``.  Failures are reported by
 raising :class:`~repro.errors.FreezeMLError` subclasses -- the session
 converts them to diagnostics, so an engine never has to know about
@@ -71,13 +71,18 @@ class Engine(abc.ABC):
         strategy: str = VARIABLE,
         value_restriction: bool = True,
         spans: Any = None,
+        budget: Any = None,
     ) -> "Type":
         """The principal type of ``term`` under ``env``.
 
         ``delta`` holds the session's rigid type variables, ``spans`` the
         parser's term-span side table (attach source locations to errors
-        if the engine can).  Raises :class:`~repro.errors.FreezeMLError`
-        on failure.
+        if the engine can).  ``budget`` is a
+        :class:`~repro.core.solver.Budget` bounding solver work; engines
+        that honour it raise :class:`~repro.errors.BudgetExceededError`
+        on exhaustion, engines that cannot may ignore it (the session's
+        interpreter-recursion backstop still applies).  Raises
+        :class:`~repro.errors.FreezeMLError` on failure.
         """
 
     def definition_type(
@@ -90,6 +95,7 @@ class Engine(abc.ABC):
         strategy: str = VARIABLE,
         value_restriction: bool = True,
         spans: Any = None,
+        budget: Any = None,
     ) -> "Type":
         """The type a top-level ``let name = term`` binds ``name`` at.
 
@@ -104,6 +110,7 @@ class Engine(abc.ABC):
             strategy=strategy,
             value_restriction=value_restriction,
             spans=spans,
+            budget=budget,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

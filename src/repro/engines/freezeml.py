@@ -47,6 +47,7 @@ class FreezeMLEngine(Engine):
         strategy: str = VARIABLE,
         value_restriction: bool = True,
         spans: Any = None,
+        budget: Any = None,
     ):
         result = infer_raw(
             term,
@@ -55,6 +56,7 @@ class FreezeMLEngine(Engine):
             strategy=strategy,
             value_restriction=value_restriction,
             inferencer_factory=located_inferencer(spans),
+            budget=budget,
         )
         return result.ty
 
@@ -68,6 +70,7 @@ class FreezeMLEngine(Engine):
         strategy: str = VARIABLE,
         value_restriction: bool = True,
         spans: Any = None,
+        budget: Any = None,
     ):
         # Faithful to the paper: the definition's type is the type of the
         # frozen variable in `let name = term in ~name`.
@@ -79,4 +82,5 @@ class FreezeMLEngine(Engine):
             strategy=strategy,
             value_restriction=value_restriction,
             spans=spans,
+            budget=budget,
         )

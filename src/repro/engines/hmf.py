@@ -27,5 +27,10 @@ class HMFEngine(Engine):
         strategy: str = VARIABLE,
         value_restriction: bool = True,
         spans: Any = None,
+        budget: Any = None,
     ):
+        # `budget` is accepted but not honoured: the HMF baseline runs
+        # its own eager-substitution algorithm without the shared solver
+        # store.  The session's interpreter-recursion backstop (FML912)
+        # still bounds it.
         return hmf_infer_type(term, env)

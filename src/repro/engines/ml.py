@@ -41,9 +41,10 @@ class MLEngine(Engine):
         strategy: str = VARIABLE,
         value_restriction: bool = True,
         spans: Any = None,
+        budget: Any = None,
     ):
         self._require_fragment(term)
-        return ml_infer_type(term, env)
+        return ml_infer_type(term, env, budget=budget)
 
     def definition_type(
         self,
@@ -55,6 +56,7 @@ class MLEngine(Engine):
         strategy: str = VARIABLE,
         value_restriction: bool = True,
         spans: Any = None,
+        budget: Any = None,
     ):
         self._require_fragment(term)
-        return ml_infer_type(term, env, generalise_top=True)
+        return ml_infer_type(term, env, generalise_top=True, budget=budget)

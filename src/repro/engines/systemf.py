@@ -34,7 +34,11 @@ class SystemFEngine(Engine):
         strategy: str = VARIABLE,
         value_restriction: bool = True,
         spans: Any = None,
+        budget: Any = None,
     ):
+        # `budget` is accepted but not honoured: the elaboration pipeline
+        # drives its own inferencer; the session's interpreter-recursion
+        # backstop (FML912) still bounds it.
         delta = delta if delta is not None else KindEnv.empty()
         elab = elaborate(
             term,

@@ -7,11 +7,30 @@ whole family or discriminate precisely in tests.
 
 Each class declares a stable ``code`` (``FML0xx`` surface syntax and
 scoping, ``FML1xx`` type inference, ``FML2xx`` backend typecheckers,
-``FML3xx`` runtime) and may carry a source ``span`` pointing at the
-offending region; :mod:`repro.diagnostics` turns a raised error into a
-structured :class:`~repro.diagnostics.Diagnostic` and the ``repro.api``
-session guarantees no exception from this hierarchy ever crosses the
-API boundary.
+``FML3xx`` runtime, ``FML9xx`` resilience guards) and may carry a
+source ``span`` pointing at the offending region; :mod:`repro.diagnostics`
+turns a raised error into a structured
+:class:`~repro.diagnostics.Diagnostic` and the ``repro.api`` session
+guarantees no exception from this hierarchy ever crosses the API
+boundary.
+
+The ``FML9xx`` family (:class:`ResilienceError`) is not about the
+*program* being ill-typed -- it reports that a resource guard fired or
+the serving infrastructure failed while typechecking it.  Two of the
+codes are **deterministic** (the same program under the same budget gets
+byte-identical verdicts at any worker count, so the serving cache may
+store them); the rest are wall-clock/environment-dependent backstops
+that must never be cached:
+
+========  ===============================  ==============
+code      meaning                          deterministic?
+========  ===============================  ==============
+FML901    solver fuel budget exhausted     yes
+FML902    recursion-depth guard fired      yes
+FML910    per-request deadline exceeded    no
+FML911    worker crashed / raised          no
+FML912    interpreter recursion limit      no
+========  ===============================  ==============
 """
 
 from __future__ import annotations
@@ -171,3 +190,117 @@ class EvaluationError(FreezeMLError):
     """Runtime failure in one of the evaluators (ill-typed program run)."""
 
     code = "FML300"
+
+
+class ResilienceError(FreezeMLError):
+    """Base of the ``FML9xx`` family: resource guards and serving faults.
+
+    These do not claim the program is ill-typed -- they report that a
+    configured guard fired (fuel, depth, deadline) or that the serving
+    infrastructure failed (worker crash) while typechecking it.  See the
+    module docstring for the deterministic/volatile split.
+    """
+
+    code = "FML900"
+
+
+class BudgetExceededError(ResilienceError):
+    """The solver's deterministic step budget ("fuel") ran out.
+
+    Fuel is spent on inference nodes, unification steps, variable
+    bindings and zonk resolutions, so exhaustion depends only on the
+    program and the configured limit -- never on the wall clock.  The
+    resulting verdict is deterministic and safe to cache.
+    """
+
+    code = "FML901"
+
+    def __init__(self, resource: str, limit: int, message: str = ""):
+        self.resource = resource
+        self.limit = limit
+        super().__init__(
+            message
+            or f"inference {resource} budget exhausted (limit {limit}); "
+            "raise --fuel or simplify the program"
+        )
+
+
+class DepthExceededError(BudgetExceededError):
+    """The solver's recursion-depth guard fired.
+
+    Like fuel, the guard is a pure function of the program and the
+    configured limit, so the verdict is deterministic and cacheable.
+    It exists to fire *before* the interpreter's own recursion limit
+    (which would be the non-deterministic ``FML912`` backstop).
+    """
+
+    code = "FML902"
+
+    def __init__(self, limit: int):
+        super().__init__(
+            "depth",
+            limit,
+            f"inference recursion depth exceeded the configured guard "
+            f"(limit {limit}); raise --max-depth or flatten the program",
+        )
+
+
+class DeadlineExceededError(ResilienceError):
+    """A per-request wall-clock deadline preempted typechecking.
+
+    Wall-clock verdicts are non-deterministic (a loaded machine can
+    push an innocent request over the line), so they are never cached;
+    the deterministic guard for pathological programs is fuel.
+    """
+
+    code = "FML910"
+
+    def __init__(self, timeout: float):
+        self.timeout = timeout
+        super().__init__(
+            f"typechecking exceeded the {timeout:g}s deadline and was preempted"
+        )
+
+
+class WorkerCrashError(ResilienceError):
+    """A worker process died (or raised outside the API contract)
+    while typechecking this program.  Environment-dependent, so the
+    verdict is never cached."""
+
+    code = "FML911"
+
+    def __init__(self, message: str = "typechecking crashed its worker process"):
+        super().__init__(message)
+
+
+class RecursionLimitError(ResilienceError):
+    """The Python interpreter's recursion limit fired before any
+    configured guard.  The limit is interpreter- and thread-dependent,
+    so the verdict is never cached; configure ``fuel``/``max_depth``
+    for a stable, cacheable verdict instead."""
+
+    code = "FML912"
+
+    def __init__(self):
+        super().__init__(
+            "interpreter recursion limit hit during typechecking; "
+            "configure fuel/max-depth for a deterministic verdict"
+        )
+
+
+#: FML9xx codes whose verdicts are pure functions of (program, config):
+#: the serving cache may store them.
+DETERMINISTIC_GUARD_CODES = frozenset(
+    {BudgetExceededError.code, DepthExceededError.code}
+)
+
+#: FML9xx codes that depend on wall clock or environment: the serving
+#: cache must never store them.
+VOLATILE_RESILIENCE_CODES = frozenset(
+    {DeadlineExceededError.code, WorkerCrashError.code, RecursionLimitError.code}
+)
+
+
+def is_resilience_code(code: str) -> bool:
+    """True for any ``FML9xx`` diagnostic code (degraded verdict)."""
+    return code.startswith("FML9")

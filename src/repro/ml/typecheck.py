@@ -14,7 +14,7 @@ terms outside the ML fragment.
 from __future__ import annotations
 
 from ..core.env import TypeEnv
-from ..core.solver import SolverState
+from ..core.solver import Budget, SolverState
 from ..core.subst import Subst
 from ..core.terms import (
     App,
@@ -39,7 +39,7 @@ from ..core.types import (
     is_monotype,
     split_foralls,
 )
-from ..errors import MLTypeError, UnboundVariableError
+from ..errors import DepthExceededError, MLTypeError, UnboundVariableError
 from ..names import NameSupply
 from .syntax import is_ml_scheme, is_ml_value
 
@@ -85,14 +85,21 @@ class MLInferencer:
     pair from the store at the end.
     """
 
-    def __init__(self, supply: NameSupply | None = None, fixed: frozenset[str] = frozenset()):
+    def __init__(
+        self,
+        supply: NameSupply | None = None,
+        fixed: frozenset[str] = frozenset(),
+        budget: Budget | None = None,
+    ):
         self.supply = supply or NameSupply()
         self.fixed = fixed
+        self.budget = budget
         # The union-find binding store, pruning, zonking and the level
         # (rank) discipline are shared with the FreezeML core; ML only
         # layers its own binding rules (monotypes everywhere, `fixed` as
-        # the rigid set) and error type on top.
-        self._state = SolverState()
+        # the rigid set) and error type on top -- which means the
+        # deterministic fuel/depth guards come along for free.
+        self._state = SolverState(budget=budget)
         self._store = self._state.store
         self._levels = self._state.levels
 
@@ -111,6 +118,9 @@ class MLInferencer:
         return self._state.zonk(ty)
 
     def _bind(self, name: str, ty: Type) -> None:
+        state = self._state
+        if state.fuel is not None:
+            state.spend()
         zty = self._zonk(ty)
         if not is_monotype(zty):
             raise MLTypeError(f"ML cannot bind `{name}` to polymorphic `{zty}`")
@@ -119,12 +129,17 @@ class MLInferencer:
             raise MLTypeError(f"occurs check: `{name}` in `{zty}`")
         # set_binding inlined: reuse the occurs check's free set for the
         # level propagation, then record.
-        state = self._state
         if free:
             state._adjust_levels(name, free)
         state._record(name, zty)
 
-    def _unify(self, left: Type, right: Type) -> None:
+    def _unify(self, left: Type, right: Type, depth: int = 0) -> None:
+        state = self._state
+        if state.fuel is not None:
+            state.spend()
+        max_depth = state.max_depth
+        if max_depth is not None and depth >= max_depth:
+            raise DepthExceededError(max_depth)
         left = self._prune(left)
         right = self._prune(right)
         if left is right:
@@ -141,7 +156,7 @@ class MLInferencer:
             if left.con != right.con or len(left.args) != len(right.args):
                 raise MLTypeError(f"cannot unify `{left}` with `{right}`")
             for l_arg, r_arg in zip(left.args, right.args):
-                self._unify(l_arg, r_arg)
+                self._unify(l_arg, r_arg, depth + 1)
             return
         raise MLTypeError(f"cannot unify `{left}` with `{right}`")
 
@@ -153,7 +168,7 @@ class MLInferencer:
         Each call runs on a fresh store, so repeated calls on one
         instance stay independent (as the eager seed behaved).
         """
-        self._state = SolverState()
+        self._state = SolverState(budget=self.budget)
         self._store = self._state.store
         self._levels = self._state.levels
         ty = self._infer(gamma.copy_for_mutation(), term)
@@ -165,6 +180,18 @@ class MLInferencer:
         return subst, self._zonk(ty)
 
     def _infer(self, gamma: TypeEnv, term: Term) -> Type:
+        # Budget guard (fuel + recursion depth), mirroring the FreezeML
+        # inferencer's `infer_node`; unbudgeted runs take the early out.
+        state = self._state
+        if state.fuel is None and state.max_depth is None:
+            return self._infer_node(gamma, term)
+        state.step_into()
+        try:
+            return self._infer_node(gamma, term)
+        finally:
+            state.depth -= 1
+
+    def _infer_node(self, gamma: TypeEnv, term: Term) -> Type:
         if isinstance(term, Var):
             try:
                 scheme = gamma.lookup(term.name)
@@ -202,7 +229,9 @@ class MLInferencer:
             fn_ty = self._infer(gamma, term.fn)
             arg_ty = self._infer(gamma, term.arg)
             result = self._fresh()
-            self._unify(fn_ty, TCon("->", (arg_ty, result)))
+            # Unification depth stacks on the live inference depth, so
+            # the combined guard tracks real interpreter frames.
+            self._unify(fn_ty, TCon("->", (arg_ty, result)), self._state.depth)
             return self._prune(result)
         if isinstance(term, Let):
             state = self._state
@@ -257,15 +286,17 @@ def ml_infer_type(
     env: TypeEnv | None = None,
     *,
     generalise_top: bool = False,
+    budget: Budget | None = None,
 ) -> Type:
     """Infer the principal ML (mono)type of ``term``.
 
     With ``generalise_top`` the result is closed into a type scheme as a
     top-level ``let`` would (useful when comparing against FreezeML's
-    ``infer_definition``).
+    ``infer_definition``).  ``budget`` bounds solver work exactly as in
+    the FreezeML engine.
     """
     env = env or TypeEnv.empty()
-    inferencer = MLInferencer()
+    inferencer = MLInferencer(budget=budget)
     subst, ty = inferencer.infer(env, term)
     if generalise_top:
         return inferencer.generalise(env.map_types(subst), ty, term)

@@ -13,28 +13,63 @@ Design
 ------
 
 * **Picklable configuration.**  A :class:`SessionConfig` names an
-  engine (registry key), a strategy and the value-restriction toggle --
-  everything needed to rebuild an equivalent prelude session anywhere.
-  Worker processes are initialised once per pool with the config and
+  engine (registry key), a strategy, the value-restriction toggle and
+  the deterministic work budget (``fuel``/``max_depth``) -- everything
+  needed to rebuild an equivalent prelude session anywhere.  Worker
+  processes are initialised once per pool with the config and
   reconstruct their own :class:`~repro.api.Session`; no interpreter
   state ever crosses a process boundary.
 
 * **Parent-side cache.**  Results are cached under a key derived from
   the exact source bytes, the engine, the strategy, the value
-  restriction and a fingerprint of the type environment.  The source is
-  deliberately *not* whitespace-normalised: diagnostics encode
-  ``line:column`` spans (even a trailing newline moves an at-EOF parse
-  error from ``1:9`` to ``2:1``) and results echo the source back, so
-  any looser key would serve subtly wrong payloads.  The cache lives in
-  the parent and duplicates are coalesced *before* dispatch, so a batch
-  produces identical ``cached`` flags whether it runs serially or
-  across N workers -- parallelism never changes the bytes a client
-  sees.
+  restriction, the budget and a fingerprint of the type environment.
+  The source is deliberately *not* whitespace-normalised: diagnostics
+  encode ``line:column`` spans (even a trailing newline moves an at-EOF
+  parse error from ``1:9`` to ``2:1``) and results echo the source
+  back, so any looser key would serve subtly wrong payloads.  The cache
+  lives in the parent and duplicates are coalesced *before* dispatch,
+  so a batch produces identical ``cached`` flags whether it runs
+  serially or across N workers -- parallelism never changes the bytes a
+  client sees.
 
 * **JSON-ready records.**  :class:`CheckRequest` /
   :class:`CheckResponse` pair each result with its label, cache status
   and duration; ``python -m repro check --jobs N`` and future server
   frontends share this one path.
+
+Fault tolerance
+---------------
+
+One pathological program must not stall or kill a batch.  The service
+guards the dispatch path at three depths:
+
+* **Deterministic fuel (preferred).**  ``SessionConfig(fuel=...,
+  max_depth=...)`` bounds solver work *inside* the engine; exhaustion
+  degrades that one request to the deterministic ``FML901``/``FML902``
+  diagnostics, which are pure functions of (program, config) and are
+  therefore cached like any other verdict.
+
+* **Per-request deadlines + crash recovery (backstop).**  With
+  ``timeout=SECS`` each dispatched request is awaited with a deadline;
+  a hung worker is preempted (the pool is torn down and rebuilt) and a
+  crashed worker (``BrokenProcessPool``) triggers recovery: surviving
+  requests are retried, the offending request is isolated -- by
+  bisection when several were in flight, so attribution never guesses
+  -- retried up to ``max_retries`` with linear backoff, then degraded
+  to ``FML910`` (deadline) / ``FML911`` (crash) and **quarantined**:
+  later occurrences of the same source are answered with the degraded
+  verdict without being dispatched again.  Wall-clock and crash
+  verdicts are environment-dependent, so they are *never* cached (and
+  quarantined answers always report ``cached=False``).
+
+* **Fault injection.**  A :class:`FaultPlan` on the config (or the
+  ``REPRO_FAULT_PLAN`` environment variable) makes chosen request
+  ordinals crash, hang or raise, in workers and in the serial path
+  alike -- the chaos suite drives every recovery branch through it.
+  The serial path *simulates* the injected faults at the dispatch
+  boundary with the same retry accounting and the same deterministic
+  messages, so ``--jobs 1`` and ``--jobs N`` stay byte-identical even
+  under fault injection.
 
 >>> from repro.service import SessionConfig, TypecheckService
 >>> with TypecheckService(SessionConfig(), jobs=2) as service:
@@ -45,34 +80,119 @@ Design
 from __future__ import annotations
 
 import hashlib
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from collections import deque
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from .api import Result, Session
 from .core.infer import VARIABLE
 from .core.types import format_type
+from .diagnostics import Span, diagnostic_from_error
 from .engines import get_engine
+from .errors import (
+    DeadlineExceededError,
+    ResilienceError,
+    VOLATILE_RESILIENCE_CODES,
+    WorkerCrashError,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Deterministic fault injection for tests and chaos drills.
+
+    ``crash``/``hang``/``raise_at`` name *dispatch ordinals* (the n-th
+    miss dispatched by the service since construction, counting from 0)
+    at which the worker kills itself, sleeps ``hang_seconds``, or raises
+    a :class:`FaultInjected`.  Each directive fires **once** per ordinal
+    unless ``persistent``; ``period`` folds ordinals modulo a cycle so a
+    benchmark can poison the same batch position round after round.
+
+    The plan travels inside :class:`SessionConfig` (picklable) and can
+    also be supplied via the ``REPRO_FAULT_PLAN`` environment variable,
+    e.g. ``REPRO_FAULT_PLAN="crash@1,hang@3,raise@5,persistent"``.
+    Fault injection never contributes to cache keys: it perturbs the
+    *serving* path, not the verdict a program deserves.
+    """
+
+    crash: tuple[int, ...] = ()
+    hang: tuple[int, ...] = ()
+    raise_at: tuple[int, ...] = ()
+    persistent: bool = False
+    period: int | None = None
+    hang_seconds: float = 30.0
+
+    @staticmethod
+    def parse(spec: str) -> "FaultPlan":
+        """Parse ``"crash@1,hang@3,raise@5,persistent,period=12"``."""
+        crash: list[int] = []
+        hang: list[int] = []
+        raise_at: list[int] = []
+        persistent = False
+        period: int | None = None
+        hang_seconds = 30.0
+        for raw in spec.replace(";", ",").split(","):
+            item = raw.strip()
+            if not item:
+                continue
+            if item == "persistent":
+                persistent = True
+            elif item.startswith("period="):
+                period = int(item.removeprefix("period="))
+            elif item.startswith("hang_seconds="):
+                hang_seconds = float(item.removeprefix("hang_seconds="))
+            else:
+                kind, sep, ordinal = item.partition("@")
+                targets = {"crash": crash, "hang": hang, "raise": raise_at}.get(kind)
+                if not sep or targets is None:
+                    raise ValueError(f"bad fault directive: {item!r}")
+                targets.append(int(ordinal))
+        return FaultPlan(
+            crash=tuple(crash),
+            hang=tuple(hang),
+            raise_at=tuple(raise_at),
+            persistent=persistent,
+            period=period,
+            hang_seconds=hang_seconds,
+        )
+
+    @staticmethod
+    def from_env(var: str = "REPRO_FAULT_PLAN") -> "FaultPlan | None":
+        spec = os.environ.get(var, "").strip()
+        return FaultPlan.parse(spec) if spec else None
 
 
 @dataclass(frozen=True, slots=True)
 class SessionConfig:
     """Everything needed to rebuild an equivalent session: picklable,
     hashable, and JSON-ready.  ``engine`` is a registry *name* (never an
-    instance) so configs travel to worker processes."""
+    instance) so configs travel to worker processes.  ``fuel`` and
+    ``max_depth`` bound solver work deterministically (see
+    :class:`~repro.core.solver.Budget`); ``fault_plan`` injects serving
+    faults for tests and contributes to neither verdicts nor cache keys.
+    """
 
     engine: str = "freezeml"
     strategy: str = VARIABLE
     value_restriction: bool = True
+    fuel: int | None = None
+    max_depth: int | None = None
+    fault_plan: FaultPlan | None = None
 
     def build(self) -> Session:
         """A fresh prelude session with this configuration.  Raises
-        :class:`ValueError` on unknown engines/strategies."""
+        :class:`ValueError` on unknown engines/strategies/budgets."""
         return Session(
             engine=self.engine,
             strategy=self.strategy,
             value_restriction=self.value_restriction,
+            fuel=self.fuel,
+            max_depth=self.max_depth,
         )
 
     def to_dict(self) -> dict:
@@ -80,6 +200,8 @@ class SessionConfig:
             "engine": self.engine,
             "strategy": self.strategy,
             "value_restriction": self.value_restriction,
+            "fuel": self.fuel,
+            "max_depth": self.max_depth,
         }
 
 
@@ -117,12 +239,22 @@ class CheckResponse:
 
 @dataclass
 class ServiceStats:
-    """Running hit/miss counters for one service instance."""
+    """Running counters for one service instance.
+
+    ``timeouts``/``crashes`` count fault *incidents* (a timed-out wait,
+    a broken pool, a worker-raised exception), ``retries`` the requests
+    re-dispatched after one, and ``quarantined`` the sources degraded
+    past ``max_retries`` and pinned to their degraded verdict.
+    """
 
     requests: int = 0
     hits: int = 0
     misses: int = 0
     check_ms: float = 0.0
+    timeouts: int = 0
+    crashes: int = 0
+    retries: int = 0
+    quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -135,6 +267,10 @@ class ServiceStats:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "check_ms": self.check_ms,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
         }
 
 
@@ -143,6 +279,11 @@ class ServiceStats:
 # ---------------------------------------------------------------------------
 
 _WORKER_SESSION: Session | None = None
+
+
+class FaultInjected(RuntimeError):
+    """The exception a ``raise`` fault directive throws inside a worker
+    (picklable, so it crosses the pool boundary intact)."""
 
 
 def _init_worker(config: SessionConfig, engine) -> None:
@@ -159,13 +300,30 @@ def _init_worker(config: SessionConfig, engine) -> None:
         engine=engine,
         strategy=config.strategy,
         value_restriction=config.value_restriction,
+        fuel=config.fuel,
+        max_depth=config.max_depth,
     )
 
 
-def _check_in_worker(source: str) -> tuple[Result, float]:
+def _check_in_worker(
+    source: str, fault: str | None = None, hang_seconds: float = 30.0
+) -> tuple[Result, float]:
     """Check one program in a worker; isolation via per-request fork,
-    exactly as the serial ``check_many`` does."""
+    exactly as the serial ``check_many`` does.
+
+    ``fault`` is a directive the parent resolved at submit time (workers
+    are stateless, so ordinals cannot be counted here): ``"crash"``
+    kills the process, ``"raise"`` throws, ``"hang"`` sleeps (bounded by
+    ``hang_seconds`` so an orphaned worker eventually exits) and then
+    checks normally -- the parent's deadline is what preempts it.
+    """
     assert _WORKER_SESSION is not None, "worker used before initialisation"
+    if fault == "crash":
+        os._exit(86)
+    elif fault == "raise":
+        raise FaultInjected("fault injection: raise")
+    elif fault == "hang":
+        time.sleep(hang_seconds)
     started = time.perf_counter()
     result = _WORKER_SESSION.fork().check(source)
     return result, (time.perf_counter() - started) * 1000.0
@@ -188,6 +346,18 @@ def env_fingerprint(session: Session) -> str:
     return digest.hexdigest()
 
 
+@dataclass
+class _Job:
+    """One dispatched miss: its position in the miss list, its source,
+    the service-lifetime dispatch ordinal (fault-plan addressing) and
+    how many faults have been charged against it so far."""
+
+    index: int
+    source: str
+    ordinal: int
+    attempts: int = field(default=0)
+
+
 class TypecheckService:
     """A long-lived batch typechecking frontend.
 
@@ -198,9 +368,22 @@ class TypecheckService:
     context manager (or call :meth:`close`) to release it.
 
     The result cache (``cache=True``) is keyed by exact source + engine
-    + strategy + value restriction + environment fingerprint and is
-    coalesced parent-side before dispatch, so verdicts -- including the
-    ``cached`` flags -- are byte-identical at any worker count.
+    + strategy + value restriction + budget + environment fingerprint
+    and is coalesced parent-side before dispatch, so verdicts --
+    including the ``cached`` flags -- are byte-identical at any worker
+    count.  Degraded verdicts with *volatile* codes (``FML910``/
+    ``FML911``/``FML912``) are never written to the cache; the
+    deterministic fuel verdicts (``FML901``/``FML902``) are cached like
+    any other result.
+
+    ``timeout`` enables per-request deadlines (seconds a dispatched
+    request may be awaited before preemption), ``max_retries`` bounds
+    re-dispatches after a timeout/crash before the request is degraded
+    and -- when ``quarantine`` is on -- pinned to its degraded verdict,
+    and ``retry_backoff`` is the linear backoff base between attempts.
+    Deadlines are a wall-clock backstop: prefer the deterministic
+    ``fuel``/``max_depth`` budget on the config, which degrades
+    pathological programs identically at any worker count.
     """
 
     def __init__(
@@ -210,25 +393,56 @@ class TypecheckService:
         jobs: int = 1,
         cache: bool = True,
         max_cache_entries: int = 65536,
+        timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        quarantine: bool = True,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive seconds or None, got {timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.config = config or SessionConfig()
         self.jobs = jobs
         self.cache_enabled = cache
         self.max_cache_entries = max_cache_entries
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.quarantine_enabled = quarantine
         self.stats = ServiceStats()
         self._session = self.config.build()  # validates config eagerly
         self._fingerprint = env_fingerprint(self._session)
         self._cache: dict[str, Result] = {}
         self._pool: ProcessPoolExecutor | None = None
+        #: cache key -> degraded Result for sources that exhausted their
+        #: retries; served without dispatch, always ``cached=False``.
+        self._quarantine: dict[str, Result] = {}
+        self._fault_plan = (
+            self.config.fault_plan
+            if self.config.fault_plan is not None
+            else FaultPlan.from_env()
+        )
+        self._faults_fired: set[tuple[str, int]] = set()
+        self._dispatched = 0  # lifetime dispatch ordinal (fault addressing)
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        Passes ``cancel_futures=True`` so a close during a hung or
+        crashing batch does not block behind queued work that will never
+        run.  This matters for ``__exit__`` and for any ``__del__``-style
+        finaliser running at interpreter shutdown: queued futures are
+        dropped immediately rather than waited for.  (A *running* hung
+        worker is the deadline handler's job -- ``_discard_pool``
+        terminates it the moment its request times out.)
+        """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(cancel_futures=True)
             self._pool = None
 
     def __enter__(self) -> "TypecheckService":
@@ -248,6 +462,19 @@ class TypecheckService:
             )
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Tear the pool down after a fault: terminate workers (a hung
+        one will not exit by being asked), drop queued futures, and let
+        the next group build a fresh pool."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in tuple(processes.values()):
+            if process.is_alive():
+                process.terminate()
+
     # -- cache --------------------------------------------------------------
 
     def cache_key(self, source: str) -> str:
@@ -256,13 +483,17 @@ class TypecheckService:
         The source contributes byte-exactly: spans in diagnostics and
         the echoed ``source`` field depend on the precise text, so even
         trailing-whitespace variants must not share a cached result (see
-        the module docstring)."""
+        the module docstring).  The budget contributes too -- a fuel
+        verdict is only valid for the limit that produced it.  The fault
+        plan does *not*: it perturbs serving, never the verdict."""
         digest = hashlib.sha256()
         for part in (
             source,
             self.config.engine,
             self.config.strategy,
             str(self.config.value_restriction),
+            str(self.config.fuel),
+            str(self.config.max_depth),
             self._fingerprint,
         ):
             digest.update(part.encode())
@@ -279,6 +510,17 @@ class TypecheckService:
             self._cache.pop(next(iter(self._cache)))
         self._cache[key] = result
 
+    @staticmethod
+    def _cacheable(result: Result) -> bool:
+        """Deterministic results only: wall-clock/environment verdicts
+        (deadline, crash, interpreter limit) must never be served to a
+        later request that might well succeed."""
+        if result.ok:
+            return True
+        return all(
+            d.code not in VOLATILE_RESILIENCE_CODES for d in result.diagnostics
+        )
+
     # -- requests -----------------------------------------------------------
 
     def check(self, source: str | CheckRequest) -> CheckResponse:
@@ -291,8 +533,11 @@ class TypecheckService:
         """Check a batch with per-program isolation, in input order.
 
         Duplicate programs (and programs already answered by this
-        service) are served from the cache; the remaining misses run
-        serially in-process (``jobs=1``) or across the worker pool.
+        service) are served from the cache, quarantined programs from
+        their pinned degraded verdict; the remaining misses run serially
+        in-process (``jobs=1``) or across the worker pool with deadline/
+        crash recovery.  A degraded request never fails the batch: it
+        comes back as a structured ``FML9xx`` diagnostic in its slot.
         """
         requests = [
             item if isinstance(item, CheckRequest) else CheckRequest(source=item)
@@ -300,37 +545,43 @@ class TypecheckService:
         ]
         keys = [self.cache_key(request.source) for request in requests]
 
-        # Plan: serve hits parent-side, dispatch each distinct miss once.
+        # Plan: serve hits and quarantined sources parent-side, dispatch
+        # each distinct miss once.  Modes: "quarantined" carries the
+        # pinned Result, "hit" the cached Result, "alias"/"miss" an
+        # index into the miss list.
         pending: dict[str, int] = {}  # key -> index into `misses`
         misses: list[str] = []
-        plan: list[tuple[bool, int | Result]] = []  # (hit?, miss-index | Result)
+        plan: list[tuple[str, int | Result]] = []
         for request, key in zip(requests, keys):
-            if self.cache_enabled and key in self._cache:
-                plan.append((True, self._cache[key]))
+            if key in self._quarantine:
+                plan.append(("quarantined", self._quarantine[key]))
+            elif self.cache_enabled and key in self._cache:
+                plan.append(("hit", self._cache[key]))
             elif self.cache_enabled and key in pending:
-                plan.append((True, pending[key]))
+                plan.append(("alias", pending[key]))
             else:
                 if self.cache_enabled:
                     pending[key] = len(misses)
-                plan.append((False, len(misses)))
+                plan.append(("miss", len(misses)))
                 misses.append(request.source)
 
         computed = self._run_misses(misses)
 
         responses: list[CheckResponse] = []
-        for request, key, (hit, ref) in zip(requests, keys, plan):
+        for request, key, (mode, ref) in zip(requests, keys, plan):
             self.stats.requests += 1
-            if hit:
-                result = ref if isinstance(ref, Result) else computed[ref][0]
+            if mode == "quarantined":
+                result = replace(ref, cached=False, duration_ms=0.0)
+            elif mode in ("hit", "alias"):
+                result = ref if mode == "hit" else computed[ref][0]
                 result = replace(result, cached=True, duration_ms=0.0)
                 self.stats.hits += 1
-                duration = 0.0
             else:
                 result, duration = computed[ref]
                 result = replace(result, cached=False, duration_ms=duration)
                 self.stats.misses += 1
                 self.stats.check_ms += duration
-                if self.cache_enabled:
+                if self.cache_enabled and self._cacheable(result):
                     self._remember(key, result)
             responses.append(
                 CheckResponse(
@@ -342,19 +593,230 @@ class TypecheckService:
             )
         return responses
 
+    # -- dispatch -----------------------------------------------------------
+
     def _run_misses(self, sources: Sequence[str]) -> list[tuple[Result, float]]:
         """Execute the deduplicated misses, preserving order."""
         if not sources:
             return []
+        jobs: list[_Job] = []
+        for index, source in enumerate(sources):
+            jobs.append(_Job(index, source, self._dispatched))
+            self._dispatched += 1
         if self.jobs == 1:
-            out = []
-            for source in sources:
-                started = time.perf_counter()
-                result = self._session.fork().check(source)
-                out.append((result, (time.perf_counter() - started) * 1000.0))
-            return out
+            outcomes = self._run_serial(jobs)
+        else:
+            outcomes = self._run_pooled(jobs)
+        return [outcomes[index] for index in range(len(sources))]
+
+    def _fault_directive(self, job: _Job) -> str | None:
+        """The injected fault for this dispatch, if any.  Resolved in
+        the parent (workers are stateless) and consumed here: a
+        non-persistent directive fires once per raw ordinal."""
+        plan = self._fault_plan
+        if plan is None:
+            return None
+        ordinal = job.ordinal % plan.period if plan.period else job.ordinal
+        for kind, ordinals in (
+            ("crash", plan.crash),
+            ("hang", plan.hang),
+            ("raise", plan.raise_at),
+        ):
+            if ordinal in ordinals:
+                if plan.persistent:
+                    return kind
+                token = (kind, job.ordinal)
+                if token not in self._faults_fired:
+                    self._faults_fired.add(token)
+                    return kind
+        return None
+
+    def _degraded(self, source: str, exc: ResilienceError) -> Result:
+        """The structured FML9xx verdict a request degrades to."""
+        diag = diagnostic_from_error(exc, fallback_span=Span.whole_source(source))
+        return Result(
+            request="check",
+            ok=False,
+            source=source,
+            engine=self._session.engine,
+            diagnostics=(diag,),
+        )
+
+    def _charge_failure(self, job: _Job, exc: ResilienceError) -> Result | None:
+        """Account one fault against ``job``: returns the degraded
+        :class:`Result` once retries are exhausted (quarantining the
+        source), or ``None`` when the caller should retry after the
+        linear backoff."""
+        job.attempts += 1
+        if job.attempts > self.max_retries:
+            result = self._degraded(job.source, exc)
+            if self.quarantine_enabled:
+                self._quarantine[self.cache_key(job.source)] = result
+                self.stats.quarantined += 1
+            return result
+        self.stats.retries += 1
+        if self.retry_backoff:
+            time.sleep(self.retry_backoff * job.attempts)
+        return None
+
+    def _raise_error(self, exc: BaseException) -> WorkerCrashError:
+        """The (deterministic) verdict text for a worker-raised
+        exception -- shared by the pooled and serial paths so fault
+        injection cannot tell them apart."""
+        return WorkerCrashError(f"worker raised {type(exc).__name__}: {exc}")
+
+    def _run_serial(self, jobs: list[_Job]) -> dict[int, tuple[Result, float]]:
+        """The in-process path.  Injected faults are *simulated* at the
+        dispatch boundary with the same retry accounting and the same
+        degraded messages as the pooled path, so ``jobs=1`` output stays
+        byte-identical to ``jobs=N`` under any fault plan.  (A real
+        in-process hang cannot be preempted -- wall-clock deadlines need
+        workers; the deterministic guard at ``jobs=1`` is fuel.)
+        """
+        outcomes: dict[int, tuple[Result, float]] = {}
+        for job in jobs:
+            while job.index not in outcomes:
+                fault = self._fault_directive(job)
+                try:
+                    if fault == "crash":
+                        self.stats.crashes += 1
+                        raise WorkerCrashError()
+                    if fault == "hang":
+                        if self.timeout is not None:
+                            # Simulated preemption: charge the deadline
+                            # without actually sleeping it out.
+                            self.stats.timeouts += 1
+                            raise DeadlineExceededError(self.timeout)
+                        time.sleep(self._fault_plan.hang_seconds)
+                    elif fault == "raise":
+                        self.stats.crashes += 1
+                        raise self._raise_error(FaultInjected("fault injection: raise"))
+                    started = time.perf_counter()
+                    result = self._session.fork().check(job.source)
+                    duration = (time.perf_counter() - started) * 1000.0
+                    outcomes[job.index] = (result, duration)
+                except ResilienceError as exc:
+                    degraded = self._charge_failure(job, exc)
+                    if degraded is not None:
+                        outcomes[job.index] = (degraded, 0.0)
+        return outcomes
+
+    def _run_pooled(self, jobs: list[_Job]) -> dict[int, tuple[Result, float]]:
+        """The worker-pool path: per-future dispatch with deadline and
+        crash recovery.  Work proceeds in *groups* (initially the whole
+        batch); a fault splits the group into answered jobs, retry
+        singletons and survivor/bisection groups, which queue up behind
+        it until every job has an outcome."""
+        outcomes: dict[int, tuple[Result, float]] = {}
+        groups: deque[list[_Job]] = deque()
+        groups.append(list(jobs))
+        while groups:
+            group = [job for job in groups.popleft() if job.index not in outcomes]
+            if group:
+                self._run_group(group, outcomes, groups)
+        return outcomes
+
+    def _run_group(
+        self,
+        group: list[_Job],
+        outcomes: dict[int, tuple[Result, float]],
+        groups: deque[list[_Job]],
+    ) -> None:
+        plan = self._fault_plan
+        hang_seconds = plan.hang_seconds if plan is not None else 30.0
+        submitted: list[tuple[_Job, object]] = []
+        incident: str | None = None  # None | "timeout" | "crash"
+        crash_set: list[_Job] = []
+        survivors: list[_Job] = []
+
         pool = self._ensure_pool()
-        return list(pool.map(_check_in_worker, sources, chunksize=1))
+        for position, job in enumerate(group):
+            fault = self._fault_directive(job)
+            try:
+                future = pool.submit(_check_in_worker, job.source, fault, hang_seconds)
+            except BrokenProcessPool:
+                # The pool died while we were still submitting: what we
+                # did submit is ambiguous (crash set), the rest never ran
+                # (survivors, retried without charge).
+                self.stats.crashes += 1
+                incident = "crash"
+                self._discard_pool()
+                survivors.extend(group[position:])
+                break
+            submitted.append((job, future))
+
+        for job, future in submitted:
+            if incident is None:
+                try:
+                    # Per-request deadline: the most this request may be
+                    # *awaited*; earlier requests' waits overlap its run.
+                    outcomes[job.index] = future.result(timeout=self.timeout)
+                except _FuturesTimeout:
+                    self.stats.timeouts += 1
+                    incident = "timeout"
+                    self._discard_pool()
+                    degraded = self._charge_failure(
+                        job, DeadlineExceededError(self.timeout)
+                    )
+                    if degraded is not None:
+                        outcomes[job.index] = (degraded, 0.0)
+                    else:
+                        groups.append([job])
+                except BrokenProcessPool:
+                    self.stats.crashes += 1
+                    incident = "crash"
+                    self._discard_pool()
+                    crash_set.append(job)
+                except CancelledError:  # pragma: no cover - defensive
+                    survivors.append(job)
+                except Exception as exc:
+                    # The worker raised (pool still healthy): degrade or
+                    # retry this one job, keep draining the others.
+                    self.stats.crashes += 1
+                    degraded = self._charge_failure(job, self._raise_error(exc))
+                    if degraded is not None:
+                        outcomes[job.index] = (degraded, 0.0)
+                    else:
+                        groups.append([job])
+            else:
+                # Post-incident: the pool is gone.  Harvest whatever
+                # finished before it died; everything else either shares
+                # the crash ambiguity (crash incident) or is an innocent
+                # survivor (timeout incident) retried without charge.
+                try:
+                    outcomes[job.index] = future.result(timeout=0)
+                except (_FuturesTimeout, CancelledError, BrokenProcessPool):
+                    (crash_set if incident == "crash" else survivors).append(job)
+                except Exception as exc:
+                    self.stats.crashes += 1
+                    degraded = self._charge_failure(job, self._raise_error(exc))
+                    if degraded is not None:
+                        outcomes[job.index] = (degraded, 0.0)
+                    else:
+                        groups.append([job])
+
+        if crash_set:
+            if len(crash_set) == 1:
+                # Alone in flight when the pool died: attribution is
+                # certain.  Retry (it may have been innocent bad luck --
+                # an OOM kill under memory pressure); degrade only past
+                # max_retries.
+                job = crash_set[0]
+                degraded = self._charge_failure(job, WorkerCrashError())
+                if degraded is not None:
+                    outcomes[job.index] = (degraded, 0.0)
+                else:
+                    groups.append([job])
+            else:
+                # Ambiguous attribution: bisect.  Each half re-runs as
+                # its own group (no charge); the culprit keeps crashing
+                # its shrinking half until it is isolated as a
+                # singleton, innocents complete along the way.
+                mid = (len(crash_set) + 1) // 2
+                groups.append(crash_set[:mid])
+                groups.append(crash_set[mid:])
+        if survivors:
+            groups.append(survivors)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -367,6 +829,8 @@ class TypecheckService:
 __all__ = [
     "CheckRequest",
     "CheckResponse",
+    "FaultInjected",
+    "FaultPlan",
     "ServiceStats",
     "SessionConfig",
     "TypecheckService",

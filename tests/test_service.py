@@ -55,6 +55,8 @@ class TestSessionConfig:
             "engine": "freezeml",
             "strategy": "variable",
             "value_restriction": True,
+            "fuel": None,
+            "max_depth": None,
         }
 
 
