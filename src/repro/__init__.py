@@ -33,6 +33,11 @@ The main entry points:
   budget (``fuel``/``max_depth``) that degrades runaway inference to a
   stable ``FML901``/``FML902`` diagnostic instead of running away;
   accepted by :class:`Session` and :class:`SessionConfig`.
+* :class:`PersistentCache` (:mod:`repro.cache`) -- the durable SQLite
+  verdict tier under the service cache, and
+  :class:`~repro.server.ReproServer` (:mod:`repro.server`, ``python -m
+  repro serve``) -- the asyncio HTTP frontend with request coalescing
+  and ``FML903`` admission control on top of it.
 
 * :func:`parse_term` / :func:`parse_type` -- surface syntax.
 * :func:`infer_type` / :func:`infer_definition` / :func:`typecheck` --
@@ -45,12 +50,14 @@ The main entry points:
 """
 
 from .api import ENGINES, Result, Session, check_programs
+from .cache import PersistentCache
 from .core.check import typeable
 from .engines import Engine, get_engine, register_engine, unregister_engine
 from .service import (
     CheckRequest,
     CheckResponse,
     FaultPlan,
+    ServiceStats,
     SessionConfig,
     TypecheckService,
 )
@@ -72,6 +79,7 @@ from .diagnostics import Diagnostic, Severity, Span, diagnostic_from_error
 from .errors import (
     BudgetExceededError,
     FreezeMLError,
+    LoadShedError,
     ResilienceError,
     TypeInferenceError,
     UnificationError,
@@ -81,7 +89,7 @@ from .syntax.parser import parse_term, parse_type
 from .syntax.pretty import pretty_term, pretty_type
 
 #: single source of truth for the package version (setup.py reads it).
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ENGINES",
@@ -93,10 +101,13 @@ __all__ = [
     "Engine",
     "FaultPlan",
     "FreezeMLError",
+    "LoadShedError",
+    "PersistentCache",
     "ResilienceError",
     "Kind",
     "KindEnv",
     "Result",
+    "ServiceStats",
     "Session",
     "SessionConfig",
     "Severity",

@@ -576,7 +576,16 @@ def check_programs(
         service directly -- it exposes the cache statistics, the
         request/response records and a persistent worker pool.
     """
+    import warnings
+
     from .service import SessionConfig, TypecheckService
+
+    warnings.warn(
+        "check_programs is deprecated since repro 1.1; construct "
+        "repro.service.TypecheckService directly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
     config = SessionConfig(
         engine=engine, strategy=strategy, value_restriction=value_restriction

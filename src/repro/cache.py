@@ -1,0 +1,252 @@
+"""Persistent cross-process verdict cache (SQLite, stdlib-only).
+
+The in-memory cache on :class:`~repro.service.TypecheckService` dies
+with the process; this module is the durable tier underneath it.
+FreezeML inference is deterministic and principal (the paper's Theorem
+2), so a verdict keyed by the service's byte-exact fingerprint --
+source + engine + strategy + value restriction + budget + environment
+-- is valid for *any* process that computes the same key: across
+restarts, across worker counts, and across the serial path.  The
+serving frontend (:mod:`repro.server`) exploits exactly this to answer
+warm traffic without re-inference after a restart.
+
+Design constraints, in order:
+
+* **Byte determinism.**  A stored verdict decodes to a
+  :class:`~repro.api.Result` whose :meth:`~repro.api.Result.to_dict`
+  payload is byte-identical to the freshly computed one.  Only the
+  JSON-visible fields survive the round-trip -- the structured ``ty``
+  and the raw ``value`` payload do not (serving consumers read
+  ``type_str``/``rendered``/``diagnostics``, none of which need them).
+
+* **Never persist volatile verdicts.**  Results carrying any
+  ``FML91x``/``FML903`` diagnostic (deadline, crash, interpreter
+  limit, load shed -- see
+  :data:`~repro.errors.VOLATILE_RESILIENCE_CODES`) are refused by
+  :meth:`PersistentCache.put` regardless of what the caller gated: a
+  crash verdict served to a later process that would have succeeded is
+  a correctness bug, not a staleness bug.  The deterministic fuel
+  verdicts (``FML901``/``FML902``) are persisted like any other
+  result -- they are pure functions of (program, config).
+
+* **Bounded size, LRU eviction.**  Entries carry a monotonic access
+  sequence number (no wall clock -- determinism extends to the
+  eviction order); a ``get`` refreshes recency, a ``put`` past
+  ``max_entries`` evicts the least recently used rows.
+
+The cache is safe to share between threads (one connection guarded by
+a lock; the server's broker threads and event loop both touch it) and
+between processes (SQLite's own file locking; the access counter is
+monotonic per connection and merely approximate across processes,
+which only perturbs eviction order, never correctness).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from pathlib import Path
+
+from .api import Result
+from .diagnostics import Diagnostic, Severity, Span
+from .errors import VOLATILE_RESILIENCE_CODES
+
+#: Bump when the stored payload shape changes: a mismatched file is
+#: dropped and recreated rather than misread.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS verdicts (
+    key     TEXT PRIMARY KEY,
+    payload TEXT NOT NULL,
+    seq     INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS verdicts_seq ON verdicts (seq);
+"""
+
+
+def default_cache_path() -> Path:
+    """Where ``repro serve`` keeps its verdict cache by default:
+    ``$REPRO_CACHE_FILE`` if set, else
+    ``$XDG_CACHE_HOME/repro/verdicts.sqlite`` (``~/.cache`` fallback)."""
+    override = os.environ.get("REPRO_CACHE_FILE", "").strip()
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME", "").strip() or "~/.cache"
+    return Path(base).expanduser() / "repro" / "verdicts.sqlite"
+
+
+def encode_result(result: Result) -> str:
+    """The JSON payload stored for one verdict (see :func:`decode_result`)."""
+    return json.dumps(
+        {
+            "request": result.request,
+            "ok": result.ok,
+            "source": result.source,
+            "engine": result.engine,
+            "rendered": result.rendered,
+            "type_str": result.type_str,
+            "diagnostics": [
+                {**d.to_dict(), "hint": d.hint} for d in result.diagnostics
+            ],
+        },
+        separators=(",", ":"),
+    )
+
+
+def decode_result(payload: str) -> Result:
+    """Rebuild a :class:`~repro.api.Result` from a stored payload.
+
+    The round-trip preserves every field of
+    :meth:`~repro.api.Result.to_dict`; the structured ``ty`` and raw
+    ``value`` payloads are not stored (see the module docstring).
+    """
+    doc = json.loads(payload)
+    diagnostics = tuple(
+        Diagnostic(
+            code=d["code"],
+            message=d["message"],
+            severity=Severity(d["severity"]),
+            span=Span(**d["span"]) if d["span"] is not None else None,
+            types=tuple(d["types"]),
+            hint=d.get("hint", ""),
+        )
+        for d in doc["diagnostics"]
+    )
+    return Result(
+        request=doc["request"],
+        ok=doc["ok"],
+        source=doc["source"],
+        engine=doc["engine"],
+        rendered=doc["rendered"],
+        type_str=doc["type_str"],
+        diagnostics=diagnostics,
+    )
+
+
+class PersistentCache:
+    """A bounded, LRU-evicting verdict store in one SQLite file.
+
+    ``path`` may be a filesystem path (parent directories are created)
+    or ``":memory:"`` for tests.  Use as a context manager or call
+    :meth:`close`; instances are thread-safe.
+
+    >>> cache = PersistentCache(":memory:", max_entries=2)
+    >>> cache.get("missing") is None
+    True
+    """
+
+    def __init__(self, path: str | os.PathLike, *, max_entries: int = 65536):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.path = str(path)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._init_schema()
+
+    def _init_schema(self) -> None:
+        with self._conn:
+            (version,) = self._conn.execute("PRAGMA user_version").fetchone()
+            if version not in (0, SCHEMA_VERSION):
+                # A future (or corrupt) schema: drop and start over --
+                # this is a cache, the data is always recomputable.
+                self._conn.execute("DROP TABLE IF EXISTS verdicts")
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+
+    # -- the dict-shaped surface -------------------------------------------
+
+    def get(self, key: str) -> Result | None:
+        """The stored verdict for ``key``, refreshing its recency; or
+        ``None``.  Decoded results always report ``cached=False`` --
+        the service layer stamps serving metadata itself."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM verdicts WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+            with self._conn:
+                self._conn.execute(
+                    "UPDATE verdicts SET seq = "
+                    "(SELECT COALESCE(MAX(seq), 0) + 1 FROM verdicts) "
+                    "WHERE key = ?",
+                    (key,),
+                )
+            self.hits += 1
+        return decode_result(row[0])
+
+    def put(self, key: str, result: Result) -> bool:
+        """Store one verdict; returns whether it was persisted.
+
+        Results carrying any volatile diagnostic code are refused (see
+        the module docstring) -- this gate is deliberately duplicated
+        here so no caller wiring mistake can leak a crash or shed
+        verdict into the durable tier."""
+        if any(
+            d.code in VOLATILE_RESILIENCE_CODES for d in result.diagnostics
+        ):
+            return False
+        payload = encode_result(result)
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO verdicts (key, payload, seq) VALUES "
+                "(?, ?, (SELECT COALESCE(MAX(seq), 0) + 1 FROM verdicts))",
+                (key, payload),
+            )
+            excess = (
+                self._conn.execute("SELECT COUNT(*) FROM verdicts").fetchone()[0]
+                - self.max_entries
+            )
+            if excess > 0:
+                self._conn.execute(
+                    "DELETE FROM verdicts WHERE key IN ("
+                    "SELECT key FROM verdicts ORDER BY seq LIMIT ?)",
+                    (excess,),
+                )
+        return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._conn.execute(
+                "SELECT COUNT(*) FROM verdicts"
+            ).fetchone()[0]
+
+    def clear(self) -> None:
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM verdicts")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "PersistentCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PersistentCache(path={self.path!r}, "
+            f"max_entries={self.max_entries})"
+        )
+
+
+__all__ = [
+    "PersistentCache",
+    "SCHEMA_VERSION",
+    "decode_result",
+    "default_cache_path",
+    "encode_result",
+]

@@ -25,7 +25,7 @@ Subcommands::
 
     python -m repro check FILE... [--json] [--engine=ENGINE]
                                   [--strategy=v|e] [--no-value-restriction]
-                                  [--jobs N] [--no-cache]
+                                  [--jobs N] [--no-cache] [--stats]
                                   [--fuel N] [--max-depth N] [--timeout SECS]
 
 typechecks each file (a bare term, or the ``sig``/``def``/``main``
@@ -44,11 +44,32 @@ pathological program degrades to the ``FML901``/``FML902`` diagnostic
 (same verdict at any ``--jobs`` setting) instead of running away.
 ``--timeout SECS`` adds the wall-clock backstop: each dispatched
 request gets a deadline, hung workers are preempted and crashed ones
-recovered (``FML910``/``FML911``).  Exit status: 0 all programs
-typecheck, 1 some failed, 2 usage error, 3 some program was *degraded*
-(an FML9xx resilience verdict: budget, deadline or crash) -- a distinct
+recovered (``FML910``/``FML911``).  ``--stats`` prints the service's
+:class:`~repro.service.ServiceStats` as JSON *to stderr* after the
+batch -- timing-free fields only, so both streams stay
+byte-reproducible.  Exit status: 0 all programs typecheck, 1 some
+failed, 2 usage error, 3 some program was *degraded* (an FML9xx
+resilience verdict: budget, deadline, crash or shed) -- a distinct
 code so callers can tell "the program is ill-typed" from "the service
 gave up on it".
+
+    python -m repro serve [--host ADDR] [--port N] [--jobs N]
+                          [--engine=ENGINE] [--strategy=v|e]
+                          [--no-value-restriction] [--fuel N]
+                          [--max-depth N] [--timeout SECS]
+                          [--cache=FILE | --no-persist] [--no-cache]
+                          [--max-pending N] [--no-coalesce]
+
+starts the asyncio HTTP serving tier (:mod:`repro.server`): ``POST
+/check`` (single program or batch -- batch responses are byte-identical
+to ``repro check --json``), ``GET /healthz`` and ``GET /stats``.
+Identical in-flight sources are coalesced into one dispatch, verdicts
+persist across restarts in a SQLite cache (``--cache=FILE``; default
+``~/.cache/repro/verdicts.sqlite``; ``--no-persist`` keeps the cache
+in-memory only), and requests beyond ``--max-pending`` queued sources
+are shed to the deterministic ``FML903`` verdict.  A request may name
+a fuel class (``{"fuel_class": "low" | "default" | "high"}``) resolved
+against the ``--fuel`` base.
 
     python -m repro bench [--quick] [--all] [--output=FILE]
                           [--compare=OLD.json]
@@ -185,7 +206,7 @@ class Repl:
 CHECK_USAGE = (
     "usage: python -m repro check FILE... [--json] [--engine=ENGINE] "
     "[--strategy=v|e] [--no-value-restriction] [--jobs N] [--no-cache] "
-    "[--fuel N] [--max-depth N] [--timeout SECS]"
+    "[--stats] [--fuel N] [--max-depth N] [--timeout SECS]"
 )
 
 #: `check` exit status for batches containing a degraded (FML9xx) verdict.
@@ -214,6 +235,7 @@ def parse_check_args(argv: list[str]) -> dict | str:
         "value_restriction": True,
         "jobs": 1,
         "cache": True,
+        "stats": False,
         "fuel": None,
         "max_depth": None,
         "timeout": None,
@@ -223,6 +245,8 @@ def parse_check_args(argv: list[str]) -> dict | str:
         arg = argv[i]
         if arg == "--json":
             opts["json"] = True
+        elif arg == "--stats":
+            opts["stats"] = True
         elif arg.startswith("--engine="):
             opts["engine"] = arg.split("=", 1)[1]
         elif arg.startswith("--strategy="):
@@ -322,6 +346,13 @@ def run_check(argv: list[str]) -> int:
         return 2
     with service:
         responses = service.check_many(requests)
+    if opts["stats"]:
+        # Timing-free fields only, on stderr: `--json` stdout and this
+        # stats record are both byte-reproducible at any --jobs setting.
+        print(
+            json.dumps(service.stats.to_reproducible_dict(), indent=2),
+            file=sys.stderr,
+        )
 
     if opts["json"]:
         programs = []
@@ -354,6 +385,151 @@ def run_check(argv: list[str]) -> int:
 
 
 # ---------------------------------------------------------------------------
+# The `serve` subcommand
+# ---------------------------------------------------------------------------
+
+SERVE_USAGE = (
+    "usage: python -m repro serve [--host ADDR] [--port N] [--jobs N] "
+    "[--engine=ENGINE] [--strategy=v|e] [--no-value-restriction] "
+    "[--fuel N] [--max-depth N] [--timeout SECS] "
+    "[--cache=FILE | --no-persist] [--no-cache] "
+    "[--max-pending N] [--no-coalesce]"
+)
+
+
+def parse_serve_args(argv: list[str]) -> dict | str:
+    """Parse ``serve`` options; returns the option dict, or an error
+    message (pure: tested without capturing stdio)."""
+    opts = {
+        "host": "127.0.0.1",
+        "port": 8765,
+        "jobs": 1,
+        "engine": "freezeml",
+        "strategy": "variable",
+        "value_restriction": True,
+        "cache": True,
+        "cache_path": None,
+        "persist": True,
+        "max_pending": 256,
+        "coalesce": True,
+        "fuel": None,
+        "max_depth": None,
+        "timeout": None,
+    }
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--host" or arg.startswith("--host="):
+            raw, i = _flag_value(argv, i, "--host")
+            if raw is None:
+                return "--host needs an address"
+            opts["host"] = raw
+        elif arg.startswith("--engine="):
+            opts["engine"] = arg.split("=", 1)[1]
+        elif arg.startswith("--strategy="):
+            opts["strategy"] = arg.split("=", 1)[1]
+        elif arg == "--no-value-restriction":
+            opts["value_restriction"] = False
+        elif arg == "--no-cache":
+            opts["cache"] = False
+        elif arg == "--no-persist":
+            opts["persist"] = False
+        elif arg == "--no-coalesce":
+            opts["coalesce"] = False
+        elif arg == "--cache" or arg.startswith("--cache="):
+            raw, i = _flag_value(argv, i, "--cache")
+            if raw is None:
+                return "--cache needs a file path"
+            opts["cache_path"] = raw
+        elif arg in ("--port", "--jobs", "--max-pending") or arg.startswith(
+            ("--port=", "--jobs=", "--max-pending=")
+        ):
+            flag = "--" + arg.lstrip("-").split("=", 1)[0]
+            raw, i = _flag_value(argv, i, flag)
+            if raw is None:
+                return f"{flag} needs an integer"
+            try:
+                value = int(raw)
+            except ValueError:
+                return f"{flag} needs an integer, got {raw!r}"
+            floor = {"--port": 0, "--jobs": 1, "--max-pending": 0}[flag]
+            if value < floor:
+                return f"{flag} must be >= {floor}, got {value}"
+            opts[flag.lstrip("-").replace("-", "_")] = value
+        elif arg in ("--fuel", "--max-depth") or arg.startswith(
+            ("--fuel=", "--max-depth=")
+        ):
+            flag = "--fuel" if arg.startswith("--fuel") else "--max-depth"
+            raw, i = _flag_value(argv, i, flag)
+            if raw is None:
+                return f"{flag} needs a step limit"
+            try:
+                limit = int(raw)
+            except ValueError:
+                return f"{flag} needs an integer, got {raw!r}"
+            if limit < 1:
+                return f"{flag} must be >= 1, got {limit}"
+            opts["fuel" if flag == "--fuel" else "max_depth"] = limit
+        elif arg == "--timeout" or arg.startswith("--timeout="):
+            raw, i = _flag_value(argv, i, "--timeout")
+            if raw is None:
+                return "--timeout needs a deadline in seconds"
+            try:
+                opts["timeout"] = float(raw)
+            except ValueError:
+                return f"--timeout needs a number of seconds, got {raw!r}"
+            if opts["timeout"] <= 0:
+                return f"--timeout must be positive, got {raw}"
+        else:
+            return f"unknown serve option {arg}"
+        i += 1
+    return opts
+
+
+def run_serve(argv: list[str]) -> int:
+    """``python -m repro serve [--port N] [--jobs N] [...]``."""
+    import asyncio
+
+    from .cache import default_cache_path
+    from .server import ReproServer, run_server
+    from .service import SessionConfig
+
+    opts = parse_serve_args(argv)
+    if isinstance(opts, str):
+        print(f"error: {opts}", file=sys.stderr)
+        print(SERVE_USAGE, file=sys.stderr)
+        return 2
+    config = SessionConfig(
+        engine=opts["engine"],
+        strategy=opts["strategy"],
+        value_restriction=opts["value_restriction"],
+        fuel=opts["fuel"],
+        max_depth=opts["max_depth"],
+    )
+    cache_path = opts["cache_path"]
+    if cache_path is None and opts["persist"]:
+        cache_path = str(default_cache_path())
+    try:
+        server = ReproServer(
+            config,
+            jobs=opts["jobs"],
+            timeout=opts["timeout"],
+            cache=opts["cache"],
+            cache_path=cache_path if opts["persist"] else None,
+            max_pending=opts["max_pending"],
+            coalesce=opts["coalesce"],
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        asyncio.run(run_server(server, host=opts["host"], port=opts["port"]))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # The `bench` subcommand
 # ---------------------------------------------------------------------------
 
@@ -363,6 +539,7 @@ BENCH_DEFAULT_SUITES = (
     "benchmarks/bench_scaling.py",
     "benchmarks/bench_env_scaling.py",
     "benchmarks/bench_service.py",
+    "benchmarks/bench_serve.py",
 )
 
 
@@ -528,12 +705,14 @@ def run_bench(argv: list[str]) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point: interactive loop, ``-c "line"`` one-shot mode, or the
-    ``check``/``bench`` subcommands."""
+    ``check``/``serve``/``bench`` subcommands."""
     argv = sys.argv[1:] if argv is None else argv
     if argv[:1] == ["bench"]:
         return run_bench(argv[1:])
     if argv[:1] == ["check"]:
         return run_check(argv[1:])
+    if argv[:1] == ["serve"]:
+        return run_serve(argv[1:])
     repl = Repl()
     if argv[:1] == ["-c"]:
         for chunk in argv[1:]:

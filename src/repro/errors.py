@@ -27,10 +27,17 @@ code      meaning                          deterministic?
 ========  ===============================  ==============
 FML901    solver fuel budget exhausted     yes
 FML902    recursion-depth guard fired      yes
+FML903    shed by admission control        bytes only
 FML910    per-request deadline exceeded    no
 FML911    worker crashed / raised          no
 FML912    interpreter recursion limit      no
 ========  ===============================  ==============
+
+``FML903`` is a hybrid: its verdict *bytes* are a pure function of the
+request (same message and whole-source span at any worker count, so
+``--jobs 1`` and ``--jobs N`` servers shed identically), but *whether*
+a request is shed depends on instantaneous queue depth -- so it is
+grouped with the volatile codes and never cached or persisted.
 """
 
 from __future__ import annotations
@@ -245,6 +252,31 @@ class DepthExceededError(BudgetExceededError):
         )
 
 
+class LoadShedError(ResilienceError):
+    """Admission control refused this request before dispatch.
+
+    Raised (conceptually -- the server constructs the diagnostic
+    directly) when the serving tier's bounded pending queue is full.
+    The verdict bytes are deterministic -- the same message and
+    whole-source span regardless of worker count -- but the shed
+    *decision* reflects instantaneous load, so the verdict is never
+    cached or persisted: the same program resubmitted under lighter
+    load deserves a real answer.
+    """
+
+    code = "FML903"
+
+    def __init__(self, max_pending: int | None = None):
+        self.max_pending = max_pending
+        detail = (
+            f" (pending limit {max_pending})" if max_pending is not None else ""
+        )
+        super().__init__(
+            f"request shed by admission control{detail}: the server's "
+            "pending queue is full; retry later or raise --max-pending"
+        )
+
+
 class DeadlineExceededError(ResilienceError):
     """A per-request wall-clock deadline preempted typechecking.
 
@@ -294,10 +326,17 @@ DETERMINISTIC_GUARD_CODES = frozenset(
     {BudgetExceededError.code, DepthExceededError.code}
 )
 
-#: FML9xx codes that depend on wall clock or environment: the serving
-#: cache must never store them.
+#: FML9xx codes that depend on wall clock, load or environment: the
+#: serving caches (in-memory and persistent) must never store them.
+#: ``FML903`` belongs here even though its bytes are deterministic --
+#: the shed decision is a function of queue depth, not of the program.
 VOLATILE_RESILIENCE_CODES = frozenset(
-    {DeadlineExceededError.code, WorkerCrashError.code, RecursionLimitError.code}
+    {
+        LoadShedError.code,
+        DeadlineExceededError.code,
+        WorkerCrashError.code,
+        RecursionLimitError.code,
+    }
 )
 
 

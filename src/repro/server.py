@@ -1,0 +1,612 @@
+"""``repro serve`` -- the asyncio HTTP/JSON serving tier.
+
+This is the traffic-facing layer over :class:`~repro.service.
+TypecheckService`: a stdlib-only HTTP/1.1 frontend (asyncio streams --
+no web framework) that turns concurrent client requests into service
+batches.  Three endpoints:
+
+* ``POST /check`` -- typecheck one program (``{"source": ...}``) or a
+  batch (``{"programs": [...]}``); the batch response is byte-identical
+  to ``python -m repro check FILE... --json`` for the same programs.
+* ``GET /healthz`` -- liveness (version, engine).
+* ``GET /stats`` -- serving counters: per-fuel-class
+  :class:`~repro.service.ServiceStats`, queue depth, cache occupancy.
+
+Architecture
+------------
+
+* **Request broker with in-flight coalescing.**  Requests for the same
+  fuel class funnel through one :class:`_Broker`: queued sources are
+  dispatched as *batches* on a single dispatch thread (serialising all
+  access to the underlying service, whose own worker pool provides the
+  parallelism), and a request whose cache key matches an already
+  queued or running source piggy-backs on that dispatch's future -- N
+  concurrent clients asking for the same program trigger exactly one
+  worker dispatch and receive N byte-identical responses.
+
+* **Persistent cross-process cache.**  The brokers' services share one
+  :class:`~repro.cache.PersistentCache` (SQLite), so a verdict
+  computed before a restart is served warm after it.  Volatile
+  verdicts (``FML903``/``FML91x``) never reach the durable tier.
+
+* **Admission control.**  At most ``max_pending`` sources may be
+  queued or dispatching at once (coalesced followers are free -- they
+  add no work).  Overflow requests are *shed*, not dropped: they get
+  the deterministic ``FML903`` verdict (same bytes at any worker
+  count) and HTTP 200, so clients see a structured, retryable answer
+  and ``repro check``-style consumers map it to the exit-code-3
+  degraded family.
+
+* **Per-client fuel classes.**  A request may carry ``"fuel_class":
+  "low" | "default" | "high"``; each class resolves to a fuel budget
+  derived from the server's ``--fuel`` base (see
+  :func:`resolve_fuel_class`) and runs on its own service so cache
+  keys -- which include the budget -- stay exact.
+
+Determinism contract
+--------------------
+
+The bytes of a ``/check`` response are a pure function of the request
+payload and the server configuration -- *not* of cache state, worker
+count, or traffic history.  The one field this forces a decision on is
+``cached``: the service's truthful flag depends on process history, so
+responses report the **batch-local** flag instead (``true`` exactly
+for repeated sources within the same request, matching what ``repro
+check`` prints for duplicate files).  Process-level serving truth
+lives on ``/stats``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+from .api import Result
+from .cache import PersistentCache, default_cache_path
+from .diagnostics import Span, diagnostic_from_error
+from .errors import LoadShedError
+from .service import SessionConfig, TypecheckService
+
+#: ``low``-class fuel when the server itself runs unbudgeted: generous
+#: enough for any realistic program, finite so an untrusted client
+#: class cannot run the solver away.
+LOW_FUEL_FALLBACK = 1_000_000
+
+#: The fuel classes a request may name (see :func:`resolve_fuel_class`).
+FUEL_CLASSES = ("low", "default", "high")
+
+
+def resolve_fuel_class(name: str, base_fuel: int | None) -> int | None:
+    """The fuel budget for one client class, relative to the server's
+    ``--fuel`` base: ``default`` is the base itself, ``low`` a quarter
+    of it (:data:`LOW_FUEL_FALLBACK` when unbudgeted), ``high`` four
+    times it (unbounded when unbudgeted).  Deterministic, so the
+    ``FML901`` verdicts each class produces are stable and cacheable.
+    """
+    if name == "default":
+        return base_fuel
+    if name == "low":
+        return max(1, base_fuel // 4) if base_fuel is not None else LOW_FUEL_FALLBACK
+    if name == "high":
+        return base_fuel * 4 if base_fuel is not None else None
+    raise ValueError(
+        f"unknown fuel class {name!r} (expected one of {', '.join(FUEL_CLASSES)})"
+    )
+
+
+class _Broker:
+    """One fuel class's dispatch queue: coalesces identical in-flight
+    sources and feeds queued programs to the service as batches.
+
+    All bookkeeping (``inflight``, ``waiting``) is touched only from
+    the event loop; the single-worker executor serialises every call
+    into the (not thread-safe) service, whose own process pool is where
+    parallelism happens.
+    """
+
+    def __init__(
+        self, service: TypecheckService, *, max_batch: int, coalesce: bool
+    ):
+        self.service = service
+        self.coalesce = coalesce
+        self.max_batch = max_batch
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        #: cache key -> the future every coalesced waiter shares, from
+        #: admission until the dispatch resolves.
+        self.inflight: dict[str, asyncio.Future] = {}
+        self.waiting: list[tuple[str, str, asyncio.Future]] = []
+        self._pump_task: asyncio.Task | None = None
+
+    def submit(self, key: str, source: str) -> asyncio.Future:
+        """Queue one admitted source; returns the future its verdict
+        (and every coalesced follower's) resolves on."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        if self.coalesce:
+            self.inflight[key] = future
+        self.waiting.append((key, source, future))
+        if self._pump_task is None or self._pump_task.done():
+            self._pump_task = loop.create_task(self._pump())
+        return future
+
+    async def _pump(self) -> None:
+        loop = asyncio.get_running_loop()
+        while self.waiting:
+            batch = self.waiting[: self.max_batch]
+            del self.waiting[: len(batch)]
+            sources = [source for _, source, _ in batch]
+            try:
+                responses = await loop.run_in_executor(
+                    self.executor, self.service.check_many, sources
+                )
+            except Exception as exc:  # defensive: the API never raises
+                for key, _, future in batch:
+                    self.inflight.pop(key, None)
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (key, _, future), response in zip(batch, responses):
+                self.inflight.pop(key, None)
+                if not future.done():
+                    future.set_result(response.result)
+
+    def close(self) -> None:
+        self.executor.shutdown(wait=False, cancel_futures=True)
+        self.service.close()
+
+
+class ReproServer:
+    """The serving tier: brokers + admission control + HTTP plumbing.
+
+    ``max_pending`` bounds the sources queued or dispatching across all
+    fuel classes (overflow is shed to ``FML903``); ``max_batch`` caps
+    how many queued sources one service dispatch may carry;
+    ``coalesce=False`` disables in-flight deduplication (the load
+    harness measures its value against this switch).  ``cache_path``
+    names the shared persistent cache file (``None`` disables the
+    durable tier; the in-memory service caches still apply unless
+    ``cache=False`` turns the whole cache stack off).
+    """
+
+    def __init__(
+        self,
+        config: SessionConfig | None = None,
+        *,
+        jobs: int = 1,
+        timeout: float | None = None,
+        cache: bool = True,
+        cache_path: "str | None" = None,
+        max_pending: int = 256,
+        max_batch: int = 64,
+        coalesce: bool = True,
+    ):
+        if max_pending < 0:
+            raise ValueError(f"max_pending must be >= 0, got {max_pending}")
+        self.config = config or SessionConfig()
+        self.jobs = jobs
+        self.timeout = timeout
+        self.cache_enabled = cache
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.coalesce = coalesce
+        self.persistent_cache = (
+            PersistentCache(cache_path)
+            if cache and cache_path is not None
+            else None
+        )
+        self._brokers: dict[str, _Broker] = {}
+        self._pending = 0
+        self._http_requests = 0
+        self._http_errors = 0
+        self._server: asyncio.AbstractServer | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self.broker("default")  # validates the config eagerly
+
+    # -- brokers ------------------------------------------------------------
+
+    def broker(self, fuel_class: str) -> _Broker:
+        """The (lazily created) broker serving one fuel class; raises
+        :class:`ValueError` on an unknown class name."""
+        found = self._brokers.get(fuel_class)
+        if found is not None:
+            return found
+        fuel = resolve_fuel_class(fuel_class, self.config.fuel)
+        service = TypecheckService(
+            replace(self.config, fuel=fuel),
+            jobs=self.jobs,
+            cache=self.cache_enabled,
+            timeout=self.timeout,
+            persistent_cache=self.persistent_cache,
+        )
+        broker = _Broker(
+            service, max_batch=self.max_batch, coalesce=self.coalesce
+        )
+        self._brokers[fuel_class] = broker
+        return broker
+
+    # -- admission ----------------------------------------------------------
+
+    def _shed_result(self, source: str, broker: _Broker) -> Result:
+        """The deterministic FML903 verdict for an overflow request:
+        a pure function of (source, config) -- never of worker count,
+        queue depth at the instant of shedding, or cache state."""
+        diag = diagnostic_from_error(
+            LoadShedError(self.max_pending),
+            fallback_span=Span.whole_source(source),
+        )
+        return Result(
+            request="check",
+            ok=False,
+            source=source,
+            engine=broker.service.config.engine,
+            diagnostics=(diag,),
+        )
+
+    async def _admit(self, broker: _Broker, source: str) -> Result:
+        """Coalesce, shed, or enqueue one program."""
+        key = broker.service.cache_key(source)
+        if broker.coalesce:
+            inflight = broker.inflight.get(key)
+            if inflight is not None:
+                broker.service.stats.coalesced += 1
+                return await inflight
+        if self._pending >= self.max_pending:
+            broker.service.stats.shed += 1
+            return self._shed_result(source, broker)
+        self._pending += 1
+        future = broker.submit(key, source)
+        future.add_done_callback(lambda _f: self._release())
+        return await future
+
+    def _release(self) -> None:
+        self._pending -= 1
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _healthz(self) -> dict:
+        from . import __version__  # deferred: the package may import us
+
+        return {
+            "status": "ok",
+            "version": __version__,
+            "engine": self.config.engine,
+        }
+
+    def _stats(self) -> dict:
+        from . import __version__  # deferred: the package may import us
+
+        cache_stats: dict = {"persistent": self.persistent_cache is not None}
+        if self.persistent_cache is not None:
+            cache_stats.update(
+                path=self.persistent_cache.path,
+                entries=len(self.persistent_cache),
+                hits=self.persistent_cache.hits,
+                misses=self.persistent_cache.misses,
+            )
+        return {
+            "status": "ok",
+            "version": __version__,
+            "config": self.config.to_dict(),
+            "jobs": self.jobs,
+            "coalesce": self.coalesce,
+            "max_pending": self.max_pending,
+            "pending": self._pending,
+            "http_requests": self._http_requests,
+            "http_errors": self._http_errors,
+            "classes": {
+                name: broker.service.stats.to_dict()
+                for name, broker in sorted(self._brokers.items())
+            },
+            "cache": cache_stats,
+        }
+
+    async def _handle_check(self, body: bytes) -> tuple[int, dict]:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return 400, {"error": "request body is not valid JSON"}
+        if not isinstance(doc, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        fuel_class = doc.get("fuel_class", "default")
+        if not isinstance(fuel_class, str):
+            return 400, {"error": "fuel_class must be a string"}
+        try:
+            broker = self.broker(fuel_class)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        single = "programs" not in doc
+        raw_items = [doc] if single else doc["programs"]
+        if not isinstance(raw_items, list):
+            return 400, {"error": "programs must be a list"}
+        programs: list[tuple[str, str]] = []
+        for item in raw_items:
+            if isinstance(item, str):
+                programs.append((item, ""))
+            elif isinstance(item, dict) and isinstance(item.get("source"), str):
+                label = item.get("label", item.get("file", ""))
+                programs.append((item["source"], str(label)))
+            else:
+                return 400, {
+                    "error": 'each program needs a "source" string '
+                    '(optionally a "label")'
+                }
+        if single and not programs:
+            return 400, {"error": 'the request needs a "source" string'}
+
+        results = await asyncio.gather(
+            *(self._admit(broker, source) for source, _ in programs)
+        )
+
+        # Batch-local `cached` flags (see the module docstring): true
+        # exactly for repeated sources within this request, matching
+        # `repro check --json` on duplicate files -- so response bytes
+        # are independent of cache warmth, restarts and worker count.
+        entries = []
+        seen: set[str] = set()
+        for (source, label), result in zip(programs, results):
+            entry = {"file": label, **result.to_dict()}
+            entry.pop("duration_ms", None)
+            entry["cached"] = source in seen
+            seen.add(source)
+            entries.append(entry)
+        if single:
+            return 200, entries[0]
+        return 200, {"engine": broker.service.config.engine, "programs": entries}
+
+    async def _route(self, method: str, target: str, body: bytes):
+        target = target.split("?", 1)[0]
+        if target == "/check":
+            if method != "POST":
+                return 405, {"error": "POST /check"}
+            return await self._handle_check(body)
+        if target == "/healthz":
+            if method != "GET":
+                return 405, {"error": "GET /healthz"}
+            return 200, self._healthz()
+        if target == "/stats":
+            if method != "GET":
+                return 405, {"error": "GET /stats"}
+            return 200, self._stats()
+        return 404, {"error": f"no such endpoint: {target}"}
+
+    # -- HTTP plumbing ------------------------------------------------------
+
+    _REASONS = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        500: "Internal Server Error",
+    }
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").split()
+                if len(parts) != 3:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request line"}, False
+                    )
+                    break
+                method, target, _version = parts
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length_raw = headers.get("content-length", "0") or "0"
+                try:
+                    length = int(length_raw)
+                except ValueError:
+                    await self._respond(
+                        writer, 400, {"error": "bad Content-Length"}, False
+                    )
+                    break
+                body = await reader.readexactly(length) if length else b""
+                keep_alive = headers.get("connection", "").lower() != "close"
+                self._http_requests += 1
+                try:
+                    status, payload = await self._route(method, target, body)
+                except Exception as exc:  # pragma: no cover - defensive
+                    status, payload = 500, {
+                        "error": f"internal error: {type(exc).__name__}: {exc}"
+                    }
+                if status != 200:
+                    self._http_errors += 1
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        # indent=2 + trailing newline: the exact bytes `repro check
+        # --json` prints, so `diff` against the CLI output is clean.
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {self._REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start accepting connections; ``port=0`` picks an
+        ephemeral port (read it back from ``self.port``)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.close()
+
+    def close(self) -> None:
+        """Release brokers, services and the persistent cache
+        (synchronous half of :meth:`stop`; idempotent)."""
+        for broker in self._brokers.values():
+            broker.close()
+        self._brokers.clear()
+        if self.persistent_cache is not None:
+            self.persistent_cache.close()
+            self.persistent_cache = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f"{self.host}:{self.port}" if self.port else "unbound"
+        return f"ReproServer({where}, jobs={self.jobs})"
+
+
+class ServerThread:
+    """Run a :class:`ReproServer` on a private event-loop thread.
+
+    The embedding used by tests and the load harness (the CLI runs the
+    loop in the foreground instead)::
+
+        with ServerThread(jobs=2) as handle:
+            urllib.request.urlopen(handle.url + "/healthz")
+
+    The constructor builds the server synchronously (so callers may
+    instrument it before any traffic); ``__enter__`` starts the loop
+    and blocks until the socket is bound.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0, **kwargs):
+        self.server = ReproServer(**kwargs)
+        self._host = host
+        self._port = port
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start(self._host, self._port)
+        except BaseException as exc:
+            self._error = exc
+            self._started.set()
+            return
+        self._started.set()
+        await self._stop.wait()
+        await self.server.stop()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        if not self._started.wait(timeout=30):  # pragma: no cover
+            raise RuntimeError("server failed to start within 30s")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+
+async def run_server(
+    server: ReproServer, *, host: str, port: int, quiet: bool = False
+) -> None:
+    """Start ``server`` and serve until SIGINT/SIGTERM or cancellation
+    (the CLI entry).  Both signals shut down cleanly -- connections
+    closed, pools released, the persistent cache flushed -- and the
+    process exits 0, so supervisors and CI can ``kill`` the daemonised
+    server without tripping an error status."""
+    import signal
+
+    await server.start(host, port)
+    if not quiet:
+        print(
+            f"repro serve: listening on http://{server.host}:{server.port} "
+            f"(engine={server.config.engine}, jobs={server.jobs}, "
+            f"cache={'on' if server.cache_enabled else 'off'})",
+            flush=True,
+        )
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed: list[signal.Signals] = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):
+            # Not the main thread (tests embed us) or no Unix signals:
+            # fall back to cancellation/KeyboardInterrupt semantics.
+            pass
+    try:
+        if installed:
+            await stop.wait()
+        else:  # pragma: no cover - embedded/Windows fallback
+            await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - shutdown path
+        pass
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        await server.stop()
+
+
+__all__ = [
+    "FUEL_CLASSES",
+    "LOW_FUEL_FALLBACK",
+    "ReproServer",
+    "ServerThread",
+    "default_cache_path",
+    "resolve_fuel_class",
+    "run_server",
+]

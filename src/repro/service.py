@@ -90,6 +90,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from .api import Result, Session
+from .cache import PersistentCache
 from .core.infer import VARIABLE
 from .core.types import format_type
 from .diagnostics import Span, diagnostic_from_error
@@ -245,6 +246,15 @@ class ServiceStats:
     a broken pool, a worker-raised exception), ``retries`` the requests
     re-dispatched after one, and ``quarantined`` the sources degraded
     past ``max_retries`` and pinned to their degraded verdict.
+
+    ``persistent_hits`` counts hits served from the durable tier (a
+    subset of ``hits``); ``coalesced`` and ``shed`` are the serving
+    frontend's backpressure counters -- requests answered by piggy-
+    backing on an identical in-flight dispatch, and requests refused
+    by admission control with the ``FML903`` verdict.  The service
+    itself never sheds (batches are bounded by their caller); the
+    counters live here so ``/stats`` and ``check --stats`` expose one
+    coherent record.
     """
 
     requests: int = 0
@@ -255,6 +265,9 @@ class ServiceStats:
     crashes: int = 0
     retries: int = 0
     quarantined: int = 0
+    persistent_hits: int = 0
+    coalesced: int = 0
+    shed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -271,7 +284,18 @@ class ServiceStats:
             "crashes": self.crashes,
             "retries": self.retries,
             "quarantined": self.quarantined,
+            "persistent_hits": self.persistent_hits,
+            "coalesced": self.coalesced,
+            "shed": self.shed,
         }
+
+    def to_reproducible_dict(self) -> dict:
+        """The timing-free subset: every field that is a deterministic
+        function of the request history (``check --stats`` prints this
+        so its stderr stays byte-reproducible run to run)."""
+        payload = self.to_dict()
+        del payload["check_ms"]
+        return payload
 
 
 # ---------------------------------------------------------------------------
@@ -371,10 +395,20 @@ class TypecheckService:
     + strategy + value restriction + budget + environment fingerprint
     and is coalesced parent-side before dispatch, so verdicts --
     including the ``cached`` flags -- are byte-identical at any worker
-    count.  Degraded verdicts with *volatile* codes (``FML910``/
-    ``FML911``/``FML912``) are never written to the cache; the
-    deterministic fuel verdicts (``FML901``/``FML902``) are cached like
-    any other result.
+    count.  Degraded verdicts with *volatile* codes (``FML903``/
+    ``FML910``/``FML911``/``FML912``) are never written to the cache;
+    the deterministic fuel verdicts (``FML901``/``FML902``) are cached
+    like any other result.
+
+    ``persistent_cache`` plugs in the durable tier underneath the
+    in-memory cache: a :class:`~repro.cache.PersistentCache` instance
+    (shared, caller-owned) or a path (the service opens and owns it).
+    Misses consult it after the in-memory cache; cacheable results are
+    written through to both, so a verdict computed by any process --
+    at any worker count, including the serial path -- is byte-identical
+    to the one every later process reads back.  It obeys the same
+    ``cache=False`` switch and the same volatile-code gate as the
+    in-memory tier.
 
     ``timeout`` enables per-request deadlines (seconds a dispatched
     request may be awaited before preemption), ``max_retries`` bounds
@@ -397,6 +431,7 @@ class TypecheckService:
         max_retries: int = 2,
         retry_backoff: float = 0.05,
         quarantine: bool = True,
+        persistent_cache: "PersistentCache | str | os.PathLike | None" = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -416,6 +451,14 @@ class TypecheckService:
         self._session = self.config.build()  # validates config eagerly
         self._fingerprint = env_fingerprint(self._session)
         self._cache: dict[str, Result] = {}
+        self._owns_persistent = persistent_cache is not None and not isinstance(
+            persistent_cache, PersistentCache
+        )
+        self.persistent_cache = (
+            PersistentCache(persistent_cache)
+            if self._owns_persistent
+            else persistent_cache
+        )
         self._pool: ProcessPoolExecutor | None = None
         #: cache key -> degraded Result for sources that exhausted their
         #: retries; served without dispatch, always ``cached=False``.
@@ -444,6 +487,9 @@ class TypecheckService:
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
             self._pool = None
+        if self._owns_persistent and self.persistent_cache is not None:
+            self.persistent_cache.close()
+            self.persistent_cache = None
 
     def __enter__(self) -> "TypecheckService":
         return self
@@ -501,7 +547,21 @@ class TypecheckService:
         return digest.hexdigest()
 
     def clear_cache(self) -> None:
+        """Drop the in-memory tier only; the persistent tier (if any)
+        is shared state with its own :meth:`~repro.cache.PersistentCache.clear`."""
         self._cache.clear()
+
+    def _persistent_get(self, key: str) -> Result | None:
+        """Consult the durable tier (after an in-memory miss); a hit is
+        promoted into the in-memory cache so the sqlite read happens at
+        most once per key per process."""
+        if self.persistent_cache is None:
+            return None
+        result = self.persistent_cache.get(key)
+        if result is not None:
+            self.stats.persistent_hits += 1
+            self._remember(key, result)  # promote, keeping the bound
+        return result
 
     def _remember(self, key: str, result: Result) -> None:
         if len(self._cache) >= self.max_cache_entries:
@@ -559,6 +619,10 @@ class TypecheckService:
                 plan.append(("hit", self._cache[key]))
             elif self.cache_enabled and key in pending:
                 plan.append(("alias", pending[key]))
+            elif self.cache_enabled and (
+                stored := self._persistent_get(key)
+            ) is not None:
+                plan.append(("hit", stored))
             else:
                 if self.cache_enabled:
                     pending[key] = len(misses)
@@ -583,6 +647,12 @@ class TypecheckService:
                 self.stats.check_ms += duration
                 if self.cache_enabled and self._cacheable(result):
                     self._remember(key, result)
+                    if self.persistent_cache is not None:
+                        # Write through to the durable tier (which
+                        # re-gates volatile codes itself).  Serving
+                        # metadata is stripped on decode, so the round
+                        # trip is byte-exact for every to_dict field.
+                        self.persistent_cache.put(key, result)
             responses.append(
                 CheckResponse(
                     request=request,

@@ -268,7 +268,8 @@ class TestBatch:
         assert [r.type_str for r in batch] == [r.type_str for r in singles]
 
     def test_check_programs_one_shot(self):
-        results = check_programs(["poly ~id"], engine="systemf")
+        with pytest.deprecated_call():
+            results = check_programs(["poly ~id"], engine="systemf")
         assert results[0].ok and results[0].engine == "systemf"
 
 

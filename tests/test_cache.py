@@ -1,0 +1,262 @@
+"""The persistent cross-process verdict cache (`repro.cache`).
+
+Covers the encode/decode round trip (byte-exact `to_dict` payloads),
+LRU eviction with recency refresh, the never-persist gate for volatile
+verdicts, and the service integration: verdicts survive a service
+"restart" (a fresh process would behave identically -- the cache is
+plain SQLite) byte-identically, on both the serial and the pooled
+dispatch path.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro import Result, Session
+from repro.cache import PersistentCache, decode_result, encode_result
+from repro.service import FaultPlan, SessionConfig, TypecheckService
+
+
+def fresh_results(*sources: str) -> list[Result]:
+    session = Session()
+    return [session.fork().check(source) for source in sources]
+
+
+class TestRoundTrip:
+    def test_ok_result_to_dict_is_byte_exact(self):
+        (result,) = fresh_results("poly ~id")
+        decoded = decode_result(encode_result(result))
+        assert decoded.to_dict() == result.to_dict()
+        assert decoded.type_str == "Int * Bool"
+
+    def test_failure_with_span_and_types_round_trips(self):
+        (result,) = fresh_results("auto id")
+        assert not result.ok and result.diagnostics
+        decoded = decode_result(encode_result(result))
+        assert decoded.to_dict() == result.to_dict()
+        diag, expected = decoded.diagnostics[0], result.diagnostics[0]
+        assert diag.code == expected.code
+        assert diag.span == expected.span
+        assert diag.types == expected.types
+        assert diag.severity is expected.severity
+
+    def test_parse_error_round_trips(self):
+        (result,) = fresh_results("fun x ->")
+        decoded = decode_result(encode_result(result))
+        assert decoded.to_dict() == result.to_dict()
+
+    def test_structured_payloads_are_not_stored(self):
+        (result,) = fresh_results("poly ~id")
+        decoded = decode_result(encode_result(result))
+        assert decoded.ty is None  # type_str carries the JSON-visible part
+        assert decoded.value is None
+
+
+class TestPersistentCache:
+    def test_get_put_and_miss(self, tmp_path):
+        (result,) = fresh_results("poly ~id")
+        with PersistentCache(tmp_path / "v.sqlite") as cache:
+            assert cache.get("k") is None
+            assert cache.misses == 1
+            assert cache.put("k", result)
+            stored = cache.get("k")
+            assert stored is not None
+            assert stored.to_dict() == result.to_dict()
+            assert cache.hits == 1
+            assert len(cache) == 1
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "v.sqlite"
+        (result,) = fresh_results("poly ~id")
+        with PersistentCache(path) as cache:
+            cache.put("k", result)
+        with PersistentCache(path) as cache:
+            stored = cache.get("k")
+            assert stored is not None
+            assert stored.to_dict() == result.to_dict()
+
+    def test_lru_eviction_bounded_and_recency_refreshed(self, tmp_path):
+        (result,) = fresh_results("poly ~id")
+        with PersistentCache(tmp_path / "v.sqlite", max_entries=3) as cache:
+            for key in ("a", "b", "c"):
+                cache.put(key, result)
+            assert cache.get("a") is not None  # refresh a's recency
+            cache.put("d", result)  # evicts b, the least recently used
+            assert len(cache) == 3
+            assert cache.get("b") is None
+            assert cache.get("a") is not None
+            assert cache.get("d") is not None
+
+    def test_replacing_a_key_does_not_grow(self, tmp_path):
+        (result,) = fresh_results("poly ~id")
+        with PersistentCache(tmp_path / "v.sqlite", max_entries=8) as cache:
+            cache.put("k", result)
+            cache.put("k", result)
+            assert len(cache) == 1
+
+    def test_volatile_verdicts_are_refused(self, tmp_path):
+        # A crash verdict (FML911) from the recovery machinery: the
+        # durable tier must refuse it no matter who calls put.
+        plan = FaultPlan(crash=(0,), persistent=True, period=1)
+        with TypecheckService(
+            SessionConfig(fault_plan=plan), max_retries=0, retry_backoff=0.0
+        ) as service:
+            degraded = service.check("poly ~id").result
+        assert degraded.diagnostics[0].code == "FML911"
+        with PersistentCache(tmp_path / "v.sqlite") as cache:
+            assert not cache.put("k", degraded)
+            assert len(cache) == 0
+            assert cache.get("k") is None
+
+    def test_schema_mismatch_drops_the_file_contents(self, tmp_path):
+        path = tmp_path / "v.sqlite"
+        (result,) = fresh_results("poly ~id")
+        with PersistentCache(path) as cache:
+            cache.put("k", result)
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA user_version = 999")
+        conn.commit()
+        conn.close()
+        with PersistentCache(path) as cache:
+            assert len(cache) == 0  # dropped, not misread
+
+    def test_max_entries_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            PersistentCache(tmp_path / "v.sqlite", max_entries=0)
+
+    def test_clear(self, tmp_path):
+        (result,) = fresh_results("poly ~id")
+        with PersistentCache(tmp_path / "v.sqlite") as cache:
+            cache.put("k", result)
+            cache.clear()
+            assert len(cache) == 0
+
+
+class TestServiceIntegration:
+    """`TypecheckService(persistent_cache=...)`: the durable tier under
+    the in-memory cache."""
+
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_restart_round_trip_is_byte_identical(self, tmp_path, jobs):
+        path = tmp_path / "v.sqlite"
+        sources = ["poly ~id", "auto id", "$(fun x -> x)"]
+        with TypecheckService(
+            SessionConfig(), jobs=jobs, persistent_cache=str(path)
+        ) as service:
+            first = [r.result.to_dict() for r in service.check_many(sources)]
+            assert service.stats.misses == len(sources)
+        # "Restart": a brand-new service (fresh in-memory cache) over
+        # the same file answers every verdict from the durable tier.
+        with TypecheckService(
+            SessionConfig(), jobs=jobs, persistent_cache=str(path)
+        ) as service:
+            second = [r.result.to_dict() for r in service.check_many(sources)]
+            assert service.stats.misses == 0
+            assert service.stats.persistent_hits == len(sources)
+            assert service.stats.hits == len(sources)
+        for before, after in zip(first, second):
+            after = dict(after)
+            # Serving metadata differs by design (a persistent hit is a
+            # hit); every verdict field is byte-identical.
+            assert after.pop("cached") is True
+            after.pop("duration_ms", None)
+            before = dict(before)
+            assert before.pop("cached") is False
+            before.pop("duration_ms", None)
+            assert before == after
+
+    def test_serial_and_pooled_share_the_same_bytes(self, tmp_path):
+        path = tmp_path / "v.sqlite"
+        sources = ["poly ~id", "auto id"]
+        with TypecheckService(
+            SessionConfig(), jobs=2, persistent_cache=str(path)
+        ) as service:
+            service.check_many(sources)
+        with TypecheckService(
+            SessionConfig(), jobs=1, persistent_cache=str(path)
+        ) as service:
+            warmed = service.check_many(sources)
+            assert service.stats.persistent_hits == len(sources)
+        fresh = TypecheckService(SessionConfig(), jobs=1)
+        try:
+            computed = fresh.check_many(sources)
+        finally:
+            fresh.close()
+        for warm, cold in zip(warmed, computed):
+            warm_doc = dict(warm.result.to_dict())
+            cold_doc = dict(cold.result.to_dict())
+            warm_doc.pop("cached"), cold_doc.pop("cached")
+            warm_doc.pop("duration_ms", None), cold_doc.pop("duration_ms", None)
+            assert warm_doc == cold_doc
+
+    def test_volatile_fml91x_never_persisted_but_fuel_verdicts_are(
+        self, tmp_path
+    ):
+        path = tmp_path / "v.sqlite"
+        plan = FaultPlan(raise_at=(0,))
+        with TypecheckService(
+            SessionConfig(fault_plan=plan),
+            max_retries=0,
+            retry_backoff=0.0,
+            quarantine=False,
+            persistent_cache=str(path),
+        ) as service:
+            degraded = service.check("poly ~id").result
+            assert degraded.diagnostics[0].code == "FML911"
+            assert len(service.persistent_cache) == 0
+        # The deterministic fuel verdict (FML901) IS persisted.
+        with TypecheckService(
+            SessionConfig(fuel=2), persistent_cache=str(path)
+        ) as service:
+            fuelled = service.check("poly ~id").result
+            assert fuelled.diagnostics[0].code == "FML901"
+            assert len(service.persistent_cache) == 1
+        with TypecheckService(
+            SessionConfig(fuel=2), persistent_cache=str(path)
+        ) as service:
+            again = service.check("poly ~id")
+            assert again.result.diagnostics[0].code == "FML901"
+            assert service.stats.persistent_hits == 1
+
+    def test_persistent_promotion_respects_the_memory_bound(self, tmp_path):
+        path = tmp_path / "v.sqlite"
+        sources = ["poly ~id", "auto id", "1 + 2"]
+        with TypecheckService(
+            SessionConfig(), persistent_cache=str(path)
+        ) as service:
+            service.check_many(sources)
+        # A tiny in-memory tier: every durable hit is promoted through
+        # the same bounded `_remember` path as a computed verdict.
+        with TypecheckService(
+            SessionConfig(), persistent_cache=str(path), max_cache_entries=1
+        ) as service:
+            service.check_many(sources)
+            assert service.stats.persistent_hits == len(sources)
+            assert len(service._cache) == 1
+
+    def test_cache_off_disables_the_persistent_tier_too(self, tmp_path):
+        path = tmp_path / "v.sqlite"
+        with TypecheckService(
+            SessionConfig(), cache=False, persistent_cache=str(path)
+        ) as service:
+            service.check("poly ~id")
+            assert len(service.persistent_cache) == 0
+            service.check("poly ~id")
+            assert service.stats.hits == 0
+
+    def test_shared_instance_is_not_closed_with_the_service(self, tmp_path):
+        cache = PersistentCache(tmp_path / "v.sqlite")
+        with TypecheckService(SessionConfig(), persistent_cache=cache) as service:
+            service.check("poly ~id")
+        assert len(cache) == 1  # still usable: the caller owns it
+        cache.close()
+
+    def test_owned_path_is_closed_with_the_service(self, tmp_path):
+        service = TypecheckService(
+            SessionConfig(), persistent_cache=str(tmp_path / "v.sqlite")
+        )
+        service.check("poly ~id")
+        service.close()
+        assert service.persistent_cache is None

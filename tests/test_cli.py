@@ -303,7 +303,32 @@ class TestCheckServiceOptions:
         assert opts["jobs"] == 4
         assert opts["cache"] is False
         assert opts["engine"] == "hmf"
+        assert opts["stats"] is False
+        assert parse_check_args(["a.fml", "--stats"])["stats"] is True
         assert isinstance(parse_check_args(["--wat"]), str)
+
+    def test_stats_prints_service_counters_to_stderr(self, good, capsys):
+        assert run_check([str(good), str(good), "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "(cached)" in captured.out
+        stats = json.loads(captured.err)
+        assert stats["requests"] == 2
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["shed"] == 0 and stats["coalesced"] == 0
+        # Timing-free by contract: stderr stays byte-reproducible.
+        assert "check_ms" not in stats
+
+    def test_stats_stderr_is_reproducible_and_json_stdout_untouched(
+        self, good, capsys
+    ):
+        args = [str(good), str(good), "--json", "--stats", "--jobs", "2"]
+        assert run_check(args) == 0
+        first = capsys.readouterr()
+        assert run_check(args) == 0
+        second = capsys.readouterr()
+        assert first.out == second.out
+        assert first.err == second.err
+        json.loads(first.out)  # --json stdout is still pure JSON
 
 
 class TestBenchCommand:

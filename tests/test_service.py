@@ -246,20 +246,32 @@ class TestCheckProgramsAlias:
     entrypoint family)."""
 
     def test_results_shape_unchanged(self):
-        results = check_programs(["poly ~id", "auto id"])
+        with pytest.deprecated_call():
+            results = check_programs(["poly ~id", "auto id"])
         assert [isinstance(r, Result) for r in results] == [True, True]
         assert [r.ok for r in results] == [True, False]
         assert results[0].engine == "freezeml"
 
     def test_alias_routes_through_the_service(self):
         # Duplicates come back cache-marked: proof the service ran them.
-        results = check_programs(["poly ~id", "poly ~id"])
+        with pytest.deprecated_call():
+            results = check_programs(["poly ~id", "poly ~id"])
         assert [r.cached for r in results] == [False, True]
 
     def test_alias_accepts_service_options(self):
-        results = check_programs(["poly ~id"] * 3, jobs=2, cache=False)
+        with pytest.deprecated_call():
+            results = check_programs(["poly ~id"] * 3, jobs=2, cache=False)
         assert [r.ok for r in results] == [True] * 3
         assert [r.cached for r in results] == [False] * 3
 
     def test_docstring_carries_deprecation_note(self):
         assert "deprecated" in check_programs.__doc__.lower()
+
+    def test_deprecation_warning_fires_at_the_call_site(self):
+        # The `.. deprecated:: 1.1` note is now a real warning, aimed
+        # at the caller's frame (stacklevel=2) so `-W error` users see
+        # their own line, not api.py internals.
+        with pytest.warns(DeprecationWarning, match="TypecheckService") as record:
+            check_programs(["poly ~id"])
+        (warning,) = record.list
+        assert warning.filename == __file__
