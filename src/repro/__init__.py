@@ -38,6 +38,10 @@ The main entry points:
   :class:`~repro.server.ReproServer` (:mod:`repro.server`, ``python -m
   repro serve``) -- the asyncio HTTP frontend with request coalescing
   and ``FML903`` admission control on top of it.
+* :mod:`repro.analysis` (``python -m repro lint``) -- the
+  static-analysis tier: registered span-preserving passes over the
+  parsed AST emitting warning-severity ``FML4xx`` diagnostics
+  (:func:`run_lint`, ``Session.lint``, ``check(lint=True)``).
 
 * :func:`parse_term` / :func:`parse_type` -- surface syntax.
 * :func:`infer_type` / :func:`infer_definition` / :func:`typecheck` --
@@ -49,6 +53,7 @@ The main entry points:
 * :mod:`repro.semantics` -- a CBV evaluator and runtime prelude.
 """
 
+from .analysis import LintContext, LintPass, all_passes, run_lint
 from .api import ENGINES, Result, Session, check_programs
 from .cache import PersistentCache
 from .core.check import typeable
@@ -84,12 +89,13 @@ from .errors import (
     TypeInferenceError,
     UnificationError,
     is_resilience_code,
+    is_warning_code,
 )
 from .syntax.parser import parse_term, parse_type
 from .syntax.pretty import pretty_term, pretty_type
 
 #: single source of truth for the package version (setup.py reads it).
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ENGINES",
@@ -106,6 +112,8 @@ __all__ = [
     "ResilienceError",
     "Kind",
     "KindEnv",
+    "LintContext",
+    "LintPass",
     "Result",
     "ServiceStats",
     "Session",
@@ -117,6 +125,7 @@ __all__ = [
     "TypecheckService",
     "TypeInferenceError",
     "UnificationError",
+    "all_passes",
     "check_programs",
     "diagnostic_from_error",
     "get_engine",
@@ -125,6 +134,7 @@ __all__ = [
     "infer_definition",
     "infer_raw",
     "is_resilience_code",
+    "is_warning_code",
     "infer_type",
     "normalise_type",
     "parse_term",
@@ -133,6 +143,7 @@ __all__ = [
     "prelude_with",
     "pretty_term",
     "pretty_type",
+    "run_lint",
     "terms",
     "typeable",
     "typecheck",

@@ -1,0 +1,30 @@
+"""Static analysis over FreezeML programs (the ``repro lint`` tier).
+
+The public surface is small: build a :class:`LintContext` from a
+checked (or merely parsed) term and call :func:`run_lint` for the
+deterministically-ordered tuple of warning diagnostics.  Everything
+else -- pass registration, the instrumented inference run, the
+individual ``FML4xx`` rules -- lives in the submodules.
+"""
+
+from __future__ import annotations
+
+from .framework import (
+    GROUPS,
+    LintContext,
+    LintPass,
+    all_passes,
+    lint_pass,
+    run_lint,
+    warning,
+)
+
+__all__ = [
+    "GROUPS",
+    "LintContext",
+    "LintPass",
+    "all_passes",
+    "lint_pass",
+    "run_lint",
+    "warning",
+]

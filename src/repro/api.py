@@ -61,7 +61,11 @@ from .corpus.signatures import prelude
 from .diagnostics import Diagnostic, Span, diagnostic_from_error
 from .engines import ENGINES, Engine, get_engine
 from .errors import FreezeMLError, RecursionLimitError
-from .extensions.toplevel import desugar_program, parse_program
+from .extensions.toplevel import (
+    desugar_program,
+    parse_program,
+    parse_program_spanned,
+)
 from .names import display_names
 from .semantics import eval_freezeml, value_prelude
 from .semantics.values import show_value
@@ -228,7 +232,13 @@ class Session:
         return parse_term_spanned(source)
 
     def _fail(
-        self, request: str, source: str, exc: BaseException, *, engine: str = ""
+        self,
+        request: str,
+        source: str,
+        exc: BaseException,
+        *,
+        engine: str = "",
+        warnings: tuple[Diagnostic, ...] = (),
     ) -> Result:
         diag = diagnostic_from_error(
             exc, fallback_span=Span.whole_source(source) if source else None
@@ -238,7 +248,7 @@ class Session:
             ok=False,
             source=source,
             engine=engine or self.engine,
-            diagnostics=(diag,),
+            diagnostics=(diag, *warnings),
         )
 
     def _resolve_engine(self, engine: str | Engine | None) -> Engine:
@@ -493,9 +503,16 @@ class Session:
 
     # -- batch / serving ----------------------------------------------------
 
-    def check(self, source: str) -> Result:
+    def check(self, source: str, *, lint: bool = False) -> Result:
         """Typecheck one program: a bare term, or the program format
         (auto-detected).  Type only -- nothing is evaluated.
+
+        With ``lint=True`` the static-analysis tier (:mod:`repro.analysis`)
+        also runs and its warning diagnostics travel in the result:
+        alone in ``diagnostics`` when the program typechecks, after the
+        error diagnostic when it does not (syntactic findings still
+        apply to an ill-typed program; inference-aware ones degrade to
+        silence).  Warnings never flip ``ok``.
 
         As the serving entrypoint, ``check`` additionally backstops the
         interpreter's own :class:`RecursionError` (deeply nested source
@@ -504,11 +521,18 @@ class Session:
         cached; configure ``fuel``/``max_depth`` for the deterministic
         ``FML901``/``FML902`` guards instead.
         """
-        if _is_program(source):
+        program = _is_program(source)
+        def_sites: tuple[tuple[str, Span], ...] = ()
+        if program:
             try:
-                definitions, main = parse_program(source)
-                term = desugar_program(definitions, main)
-                spans: SpanTable | None = None
+                if lint:
+                    # The spanned parse keeps def-line token positions so
+                    # warnings (and type errors) point into the source.
+                    term, spans, def_sites = parse_program_spanned(source)
+                else:
+                    definitions, main = parse_program(source)
+                    term = desugar_program(definitions, main)
+                    spans = None
             except FreezeMLError as exc:
                 return self._fail("check", source, exc)
             except RecursionError:
@@ -520,12 +544,20 @@ class Session:
                 return self._fail("check", source, exc)
             except RecursionError:
                 return self._fail("check", source, RecursionLimitError())
+        warnings: tuple[Diagnostic, ...] = ()
+        if lint:
+            try:
+                warnings = self._lint_warnings(source, term, spans, program, def_sites)
+            except RecursionError:
+                warnings = ()  # lint must never take the check down
         try:
             ty, shown = self._infer_term(term, spans, self._engine_impl)
         except FreezeMLError as exc:
-            return self._fail("check", source, exc)
+            return self._fail("check", source, exc, warnings=warnings)
         except RecursionError:
-            return self._fail("check", source, RecursionLimitError())
+            return self._fail(
+                "check", source, RecursionLimitError(), warnings=warnings
+            )
         return Result(
             request="check",
             ok=True,
@@ -534,16 +566,51 @@ class Session:
             rendered=shown,
             ty=ty,
             type_str=shown,
+            diagnostics=warnings,
         )
 
-    def check_many(self, sources: Iterable[str]) -> list[Result]:
+    def lint(self, source: str) -> Result:
+        """Typecheck *and* lint: sugar for ``check(source, lint=True)``
+        (same request kind, so serving caches and verdict bytes agree)."""
+        return self.check(source, lint=True)
+
+    def _lint_warnings(
+        self,
+        source: str,
+        term: Term,
+        spans: SpanTable | None,
+        program: bool,
+        def_sites: tuple[tuple[str, Span], ...],
+    ) -> tuple[Diagnostic, ...]:
+        """Run the analysis tier under this session's exact typing
+        context (engine, strategy, value restriction, budget, env)."""
+        from .analysis import LintContext, run_lint
+
+        ctx = LintContext(
+            source=source,
+            term=term,
+            spans=spans,
+            env=self.env,
+            delta=self.delta,
+            engine=self.engine,
+            strategy=self.strategy,
+            value_restriction=self.value_restriction,
+            budget=self.budget,
+            program=program,
+            def_sites=def_sites,
+        )
+        return run_lint(ctx)
+
+    def check_many(
+        self, sources: Iterable[str], *, lint: bool = False
+    ) -> list[Result]:
         """Typecheck many programs with per-program isolation.
 
         Each program is checked in a :meth:`fork` of this session: fresh
         solver state and name supply (one per inference run), a private
         environment, shared prelude.  Results come back in input order.
         """
-        return [self.fork().check(source) for source in sources]
+        return [self.fork().check(source, lint=lint) for source in sources]
 
     def typechecks(
         self, source: str | Term, *, engine: str | Engine | None = None

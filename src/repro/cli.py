@@ -12,6 +12,7 @@ REPL commands::
     :f <term>         elaborate to System F (Figure 11) and print
     :derive <term>    print the full typing derivation (Figure 7)
     :hmf <term>       infer under the HMF baseline
+    :lint <term>      typecheck and report FML4xx lint warnings
     :let x = <term>   add a top-level definition (generalising let)
     :env              list bindings added on top of the Figure 2 prelude
     :strategy v|e     switch variable/eliminator instantiation
@@ -53,6 +54,15 @@ resilience verdict: budget, deadline, crash or shed) -- a distinct
 code so callers can tell "the program is ill-typed" from "the service
 gave up on it".
 
+    python -m repro lint FILE... [check options]
+
+is ``check --lint``: the static-analysis tier (:mod:`repro.analysis`)
+runs alongside typechecking and its ``FML4xx`` warning diagnostics
+travel in the output (text and ``--json``), deterministically ordered.
+Warnings never change the exit status unless ``--strict-warnings`` is
+given, which turns an otherwise-clean exit 0 into exit 1 when any
+warning was reported.
+
     python -m repro serve [--host ADDR] [--port N] [--jobs N]
                           [--engine=ENGINE] [--strategy=v|e]
                           [--no-value-restriction] [--fuel N]
@@ -91,7 +101,7 @@ import json
 import sys
 
 from .api import Result, Session
-from .diagnostics import render_all
+from .diagnostics import Severity, render_all
 from .errors import is_resilience_code
 
 BANNER = (
@@ -141,6 +151,8 @@ class Repl:
             self._render(
                 self.session.infer(line[5:], engine="hmf"), "  (HMF) : {rendered}"
             )
+        elif line.startswith(":lint "):
+            self._lint(line[6:])
         elif line.startswith(":let "):
             self._define(line[5:])
         elif line.startswith(":"):
@@ -160,9 +172,29 @@ class Repl:
 
     def _report(self, result: Result) -> None:
         self.error_count += 1
+        self._emit_diagnostics(result)
+
+    def _emit_diagnostics(self, result: Result) -> None:
+        """Severity-aware rendering: lint warnings ride along in check
+        results and must not be presented (or counted) as errors."""
         for diag in result.diagnostics:
             where = f" at {diag.span}" if diag.span is not None else ""
-            self.emit(f"error: {diag.message} [{diag.code}{where}]")
+            label = (
+                "warning" if diag.severity is Severity.WARNING else "error"
+            )
+            self.emit(f"{label}: {diag.message} [{diag.code}{where}]")
+
+    def _lint(self, source: str) -> None:
+        """``:lint <term>`` -- typecheck and run the analysis tier."""
+        result = self.session.lint(source)
+        if not result.ok:
+            self._report(result)
+            return
+        self.emit(f"  : {result.rendered}")
+        if result.diagnostics:
+            self._emit_diagnostics(result)
+        else:
+            self.emit("  (no warnings)")
 
     def _elaborate(self, source: str) -> None:
         result = self.session.elaborate(source)
@@ -206,7 +238,13 @@ class Repl:
 CHECK_USAGE = (
     "usage: python -m repro check FILE... [--json] [--engine=ENGINE] "
     "[--strategy=v|e] [--no-value-restriction] [--jobs N] [--no-cache] "
-    "[--stats] [--fuel N] [--max-depth N] [--timeout SECS]"
+    "[--stats] [--fuel N] [--max-depth N] [--timeout SECS] "
+    "[--lint] [--strict-warnings]"
+)
+
+LINT_USAGE = (
+    "usage: python -m repro lint FILE... [--json] [--strict-warnings] "
+    "[check options]"
 )
 
 #: `check` exit status for batches containing a degraded (FML9xx) verdict.
@@ -239,6 +277,8 @@ def parse_check_args(argv: list[str]) -> dict | str:
         "fuel": None,
         "max_depth": None,
         "timeout": None,
+        "lint": False,
+        "strict_warnings": False,
     }
     i = 0
     while i < len(argv):
@@ -247,6 +287,10 @@ def parse_check_args(argv: list[str]) -> dict | str:
             opts["json"] = True
         elif arg == "--stats":
             opts["stats"] = True
+        elif arg == "--lint":
+            opts["lint"] = True
+        elif arg == "--strict-warnings":
+            opts["strict_warnings"] = True
         elif arg.startswith("--engine="):
             opts["engine"] = arg.split("=", 1)[1]
         elif arg.startswith("--strategy="):
@@ -333,6 +377,7 @@ def run_check(argv: list[str]) -> int:
         value_restriction=opts["value_restriction"],
         fuel=opts["fuel"],
         max_depth=opts["max_depth"],
+        lint=opts["lint"],
     )
     try:
         service = TypecheckService(
@@ -370,6 +415,9 @@ def run_check(argv: list[str]) -> int:
             if result.ok:
                 suffix = " (cached)" if response.cached else ""
                 print(f"{path}: ok: {result.type_str}{suffix}")
+                # Under --lint an ok result may still carry warnings.
+                for line in render_all(result.diagnostics, file=path):
+                    print(line)
             else:
                 for line in render_all(result.diagnostics, file=path):
                     print(line)
@@ -381,7 +429,16 @@ def run_check(argv: list[str]) -> int:
         # Degraded verdicts (budget/deadline/crash) get their own exit
         # status: "the service gave up" is not "the program is ill-typed".
         return EXIT_DEGRADED
-    return 0 if all(response.ok for response in responses) else 1
+    if not all(response.ok for response in responses):
+        return 1
+    if opts["strict_warnings"] and any(
+        diag.severity is Severity.WARNING
+        for response in responses
+        for diag in response.result.diagnostics
+    ):
+        # Warnings never flip a passing exit status unless asked to.
+        return 1
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -393,7 +450,7 @@ SERVE_USAGE = (
     "[--engine=ENGINE] [--strategy=v|e] [--no-value-restriction] "
     "[--fuel N] [--max-depth N] [--timeout SECS] "
     "[--cache=FILE | --no-persist] [--no-cache] "
-    "[--max-pending N] [--no-coalesce]"
+    "[--max-pending N] [--no-coalesce] [--lint]"
 )
 
 
@@ -415,11 +472,14 @@ def parse_serve_args(argv: list[str]) -> dict | str:
         "fuel": None,
         "max_depth": None,
         "timeout": None,
+        "lint": False,
     }
     i = 0
     while i < len(argv):
         arg = argv[i]
-        if arg == "--host" or arg.startswith("--host="):
+        if arg == "--lint":
+            opts["lint"] = True
+        elif arg == "--host" or arg.startswith("--host="):
             raw, i = _flag_value(argv, i, "--host")
             if raw is None:
                 return "--host needs an address"
@@ -505,6 +565,7 @@ def run_serve(argv: list[str]) -> int:
         value_restriction=opts["value_restriction"],
         fuel=opts["fuel"],
         max_depth=opts["max_depth"],
+        lint=opts["lint"],
     )
     cache_path = opts["cache_path"]
     if cache_path is None and opts["persist"]:
@@ -711,6 +772,11 @@ def main(argv: list[str] | None = None) -> int:
         return run_bench(argv[1:])
     if argv[:1] == ["check"]:
         return run_check(argv[1:])
+    if argv[:1] == ["lint"]:
+        # `repro lint` is `repro check --lint`: same service, same
+        # verdict bytes, warnings switched on.  Appending the flag
+        # keeps the two spellings impossible to drift apart.
+        return run_check([*argv[1:], "--lint"])
     if argv[:1] == ["serve"]:
         return run_serve(argv[1:])
     repl = Repl()

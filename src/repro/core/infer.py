@@ -195,6 +195,12 @@ class Inferencer:
         # With the default (all-no-op) elaborator the hook calls can be
         # skipped entirely -- measurable on large synthetic programs.
         self._no_elab = type(self.elaborator) is Elaborator
+        # Likewise for the generalisation observer: the base hook is a
+        # no-op, so the `let` rule only pays for the call when a
+        # subclass actually overrides it (the lint tier does).
+        self._note_gen = (
+            type(self).note_generalisation is not Inferencer.note_generalisation
+        )
 
     # -- helpers -------------------------------------------------------------
 
@@ -209,6 +215,20 @@ class Inferencer:
         if not self.value_restriction:
             return split_foralls(ann)
         return split_annotation(ann, bound)
+
+    def note_generalisation(
+        self,
+        term: Term,
+        candidates: tuple[str, ...],
+        binders: tuple[str, ...],
+    ) -> None:
+        """Observer hook: called at every unannotated ``let`` with the
+        generalisation candidates (``Delta''' = ftv(A) - (Delta, Delta')``)
+        and the binders actually quantified (empty when the value
+        restriction declined).  The base implementation does nothing and
+        is never even called (see ``_note_gen``); the analysis tier
+        overrides it to report value-restriction demotions (``FML412``).
+        """
 
     # -- the paper-shaped entry point ----------------------------------------
 
@@ -395,6 +415,8 @@ class Inferencer:
         # zonk sweep over the environment.
         candidates = solver.generalisable(bound_ty)
         binders = candidates if self._generalisable(term.bound) else ()
+        if self._note_gen:
+            self.note_generalisation(term, candidates, binders)
 
         # Theta1' = demote(mono, Theta1, Delta''') ; then drop the
         # binders, or pin declined candidates to the outer level so an

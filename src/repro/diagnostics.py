@@ -26,9 +26,11 @@ from .errors import FreezeMLError, MonomorphismError, OccursCheckError, Unificat
 
 
 class Severity(str, enum.Enum):
-    """How bad a diagnostic is.  (Errors today; the pipeline carries the
-    distinction so future lints/deprecations slot in without reshaping
-    consumers.)"""
+    """How bad a diagnostic is.  ``ERROR`` means the request failed;
+    ``WARNING`` is the static-analysis tier's level (:mod:`repro.analysis`
+    emits the ``FML4xx`` family at it) -- warnings ride along in
+    successful results and never flip ``ok``.  ``NOTE`` is reserved for
+    attached secondary locations."""
 
     ERROR = "error"
     WARNING = "warning"

@@ -320,6 +320,48 @@ class RecursionLimitError(ResilienceError):
         )
 
 
+# ---------------------------------------------------------------------------
+# The FML4xx warning family (static analysis).
+#
+# Warnings are not exceptions: the program typechecks (or at least
+# parses) and the analysis tier (:mod:`repro.analysis`) merely points at
+# something suspicious.  They are declared here, next to the error
+# codes, so the whole FMLxxx namespace has one registry: codes are
+# stable across releases, ``repro lint --json`` consumers key on them,
+# and tests assert the table and the rule implementations agree.
+# ---------------------------------------------------------------------------
+
+#: Stable warning codes, code -> short human title.  ``FML40x`` rules
+#: are purely syntactic (a walk over the parsed term); ``FML41x`` rules
+#: are inference-aware (they consult solver results after a check).
+WARNING_CODES: "dict[str, str]" = {
+    "FML401": "unused let binding",
+    "FML402": "unused lambda parameter",
+    "FML403": "variable shadowing",
+    "FML404": "duplicate top-level definition",
+    "FML405": "unused quantifier in annotation",
+    "FML406": "freeze of a monomorphic lambda parameter",
+    "FML410": "redundant type annotation",
+    "FML411": "redundant freeze",
+    "FML412": "value-restriction demotion",
+}
+
+#: The syntactic subset of :data:`WARNING_CODES` (no inference needed).
+SYNTACTIC_WARNING_CODES = frozenset(
+    code for code in WARNING_CODES if code < "FML410"
+)
+
+#: The inference-aware subset (require a solver run to decide).
+INFERENCE_WARNING_CODES = frozenset(
+    code for code in WARNING_CODES if code >= "FML410"
+)
+
+
+def is_warning_code(code: str) -> bool:
+    """True for any ``FML4xx`` diagnostic code (lint warning)."""
+    return code.startswith("FML4")
+
+
 #: FML9xx codes whose verdicts are pure functions of (program, config):
 #: the serving cache may store them.
 DETERMINISTIC_GUARD_CODES = frozenset(

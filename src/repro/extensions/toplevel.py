@@ -27,6 +27,7 @@ unannotated let.)
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 from ..core.env import TypeEnv
@@ -34,8 +35,9 @@ from ..core.infer import infer_type
 from ..core.kinds import KindEnv
 from ..core.terms import Lam, LamAnn, Let, LetAnn, Term
 from ..core.types import ARROW, TCon, Type, split_foralls
+from ..diagnostics import Span
 from ..errors import ParseError
-from ..syntax.parser import parse_term, parse_type
+from ..syntax.parser import SpanTable, parse_term, parse_term_spanned, parse_type
 
 
 @dataclass(frozen=True)
@@ -121,6 +123,124 @@ def parse_program(source: str) -> tuple[list[Definition], Term]:
     if main is None:
         raise ParseError("program has no main")
     return definitions, main
+
+
+def _relocated(exc: ParseError, lineno: int, column: int) -> ParseError:
+    """Rebase a parse error from a single-line sub-source (where it is
+    reported at line 1) onto the program line it came from."""
+    col = (exc.column or 1) + column - 1
+    end_col = (
+        exc.end_column + column - 1
+        if exc.end_column is not None and exc.end_line in (1, None)
+        else exc.end_column
+    )
+    return ParseError(exc.raw_message, lineno, col, lineno, end_col)
+
+
+def parse_program_spanned(
+    source: str,
+) -> tuple[Term, SpanTable, tuple[tuple[str, Span], ...]]:
+    """Parse and desugar the program format, keeping source spans.
+
+    Returns ``(term, spans, def_sites)``: the desugared nested-let term,
+    a :class:`~repro.syntax.parser.SpanTable` over it (right-hand-side
+    subterms carry their true line/column via
+    :meth:`~repro.syntax.parser.SpanTable.absorb`; the desugared
+    ``let``/lambda wrappers carry the spans of the ``def`` name and
+    parameter tokens), and the ordered ``(name, span)`` definition sites
+    the duplicate-definition lint (``FML404``) reports on.
+
+    The analysis tier (:mod:`repro.analysis`) is the consumer;
+    :func:`parse_program` remains the span-free fast path.
+    """
+    spans = SpanTable(source)
+    signatures: dict[str, Type] = {}
+    definitions: list[Definition] = []
+    def_sites: list[tuple[str, Span]] = []
+    #: per definition: (name span, param spans, body table, body column)
+    def_layout: list[tuple[Span, list[Span], SpanTable, int]] = []
+    main: Term | None = None
+    main_layout: tuple[SpanTable, int, int] | None = None
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        indent = len(raw) - len(raw.lstrip())
+        if line.startswith("sig "):
+            name, _, ty_src = line[4:].partition(":")
+            name = name.strip()
+            if not name or not ty_src.strip():
+                raise ParseError("malformed sig line", lineno, 1)
+            signatures[name] = parse_type(ty_src.strip())
+        elif line.startswith("def "):
+            lhs, _, rhs = line[4:].partition("=")
+            words = lhs.split()
+            if not words or not rhs.strip():
+                raise ParseError("malformed def line", lineno, 1)
+            name, params = words[0], tuple(words[1:])
+            # 1-based columns of the name and parameter tokens in `raw`.
+            token_spans = [
+                Span(lineno, indent + 4 + m.start() + 1, lineno, indent + 4 + m.end() + 1)
+                for m in re.finditer(r"\S+", lhs)
+            ]
+            rhs_column = (
+                indent + 4 + len(lhs) + 1 + (len(rhs) - len(rhs.lstrip())) + 1
+            )
+            try:
+                body, body_spans = parse_term_spanned(rhs.strip())
+            except ParseError as exc:
+                raise _relocated(exc, lineno, rhs_column) from exc
+            definitions.append(
+                Definition(name, params, body, signatures.get(name))
+            )
+            def_sites.append((name, token_spans[0]))
+            def_layout.append(
+                (token_spans[0], token_spans[1:], body_spans, rhs_column)
+            )
+        elif line.startswith("main"):
+            pre, _, rhs = line.partition("=")
+            if not rhs.strip():
+                raise ParseError("malformed main line", lineno, 1)
+            rhs_column = (
+                indent + len(pre) + 1 + (len(rhs) - len(rhs.lstrip())) + 1
+            )
+            try:
+                main, main_spans = parse_term_spanned(rhs.strip())
+            except ParseError as exc:
+                raise _relocated(exc, lineno, rhs_column) from exc
+            main_layout = (main_spans, lineno, rhs_column)
+        else:
+            raise ParseError(f"unrecognised program line: {line!r}", lineno, 1)
+    if main is None or main_layout is None:
+        raise ParseError("program has no main")
+
+    term = desugar_program(definitions, main)
+    spans.root = term
+
+    main_spans, main_line, main_column = main_layout
+    spans.absorb(main_spans, line=main_line, column=main_column)
+    # Walk the nested lets outermost-in: desugar_program wraps in
+    # reverse, so the outermost Let/LetAnn is the *first* definition.
+    node: Term = term
+    for definition, (name_span, param_spans, body_spans, rhs_column) in zip(
+        definitions, def_layout
+    ):
+        assert isinstance(node, (Let, LetAnn)) and node.var == definition.name
+        spans.record(node, name_span)
+        body_line = name_span.line
+        spans.absorb(body_spans, line=body_line, column=rhs_column)
+        # The lambda wrappers desugar_bound built, outermost first ==
+        # parameter order; signatures may legally have fewer params
+        # covered than tokens (errors surface at inference), so stop at
+        # the first non-lambda.
+        lam: Term = node.bound
+        for param_span in param_spans:
+            if not isinstance(lam, (Lam, LamAnn)):
+                break
+            spans.record(lam, param_span)
+            lam = lam.body
+        node = node.body
+    return term, spans, tuple(def_sites)
 
 
 def infer_program(

@@ -63,6 +63,7 @@ import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
+from typing import ClassVar
 
 from .api import Result
 from .cache import PersistentCache, default_cache_path
@@ -210,15 +211,24 @@ class ReproServer:
 
     # -- brokers ------------------------------------------------------------
 
-    def broker(self, fuel_class: str) -> _Broker:
-        """The (lazily created) broker serving one fuel class; raises
-        :class:`ValueError` on an unknown class name."""
-        found = self._brokers.get(fuel_class)
+    def broker(self, fuel_class: str, lint: bool | None = None) -> _Broker:
+        """The (lazily created) broker serving one (fuel class, lint)
+        combination; raises :class:`ValueError` on an unknown class name.
+
+        ``lint=None`` means "whatever the server was configured with".
+        A per-request override gets its own broker -- lint is part of
+        the verdict (and of the cache fingerprint), so lint-on and
+        lint-off traffic must never coalesce or share caches.  Lint
+        brokers show up in ``/stats`` under ``<class>+lint``.
+        """
+        effective = self.config.lint if lint is None else lint
+        key = f"{fuel_class}+lint" if effective else fuel_class
+        found = self._brokers.get(key)
         if found is not None:
             return found
         fuel = resolve_fuel_class(fuel_class, self.config.fuel)
         service = TypecheckService(
-            replace(self.config, fuel=fuel),
+            replace(self.config, fuel=fuel, lint=effective),
             jobs=self.jobs,
             cache=self.cache_enabled,
             timeout=self.timeout,
@@ -227,7 +237,7 @@ class ReproServer:
         broker = _Broker(
             service, max_batch=self.max_batch, coalesce=self.coalesce
         )
-        self._brokers[fuel_class] = broker
+        self._brokers[key] = broker
         return broker
 
     # -- admission ----------------------------------------------------------
@@ -316,8 +326,11 @@ class ReproServer:
         fuel_class = doc.get("fuel_class", "default")
         if not isinstance(fuel_class, str):
             return 400, {"error": "fuel_class must be a string"}
+        lint = doc.get("lint")
+        if lint is not None and not isinstance(lint, bool):
+            return 400, {"error": "lint must be a boolean"}
         try:
-            broker = self.broker(fuel_class)
+            broker = self.broker(fuel_class, lint)
         except ValueError as exc:
             return 400, {"error": str(exc)}
         single = "programs" not in doc
@@ -377,7 +390,7 @@ class ReproServer:
 
     # -- HTTP plumbing ------------------------------------------------------
 
-    _REASONS = {
+    _REASONS: ClassVar[dict[int, str]] = {
         200: "OK",
         400: "Bad Request",
         404: "Not Found",

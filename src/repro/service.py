@@ -183,6 +183,11 @@ class SessionConfig:
     value_restriction: bool = True
     fuel: int | None = None
     max_depth: int | None = None
+    #: run the static-analysis tier (:mod:`repro.analysis`) on every
+    #: check; warnings travel in verdicts, so lint is part of the cache
+    #: fingerprint (a lint-on verdict must never answer a lint-off
+    #: request, and vice versa).
+    lint: bool = False
     fault_plan: FaultPlan | None = None
 
     def build(self) -> Session:
@@ -203,6 +208,7 @@ class SessionConfig:
             "value_restriction": self.value_restriction,
             "fuel": self.fuel,
             "max_depth": self.max_depth,
+            "lint": self.lint,
         }
 
 
@@ -303,6 +309,7 @@ class ServiceStats:
 # ---------------------------------------------------------------------------
 
 _WORKER_SESSION: Session | None = None
+_WORKER_LINT: bool = False
 
 
 class FaultInjected(RuntimeError):
@@ -319,7 +326,7 @@ def _init_worker(config: SessionConfig, engine) -> None:
     importable where the worker unpickles it) -- workers never consult
     their own registry.
     """
-    global _WORKER_SESSION
+    global _WORKER_SESSION, _WORKER_LINT
     _WORKER_SESSION = Session(
         engine=engine,
         strategy=config.strategy,
@@ -327,6 +334,7 @@ def _init_worker(config: SessionConfig, engine) -> None:
         fuel=config.fuel,
         max_depth=config.max_depth,
     )
+    _WORKER_LINT = config.lint
 
 
 def _check_in_worker(
@@ -349,7 +357,7 @@ def _check_in_worker(
     elif fault == "hang":
         time.sleep(hang_seconds)
     started = time.perf_counter()
-    result = _WORKER_SESSION.fork().check(source)
+    result = _WORKER_SESSION.fork().check(source, lint=_WORKER_LINT)
     return result, (time.perf_counter() - started) * 1000.0
 
 
@@ -540,6 +548,7 @@ class TypecheckService:
             str(self.config.value_restriction),
             str(self.config.fuel),
             str(self.config.max_depth),
+            str(self.config.lint),
             self._fingerprint,
         ):
             digest.update(part.encode())
@@ -762,7 +771,9 @@ class TypecheckService:
                         self.stats.crashes += 1
                         raise self._raise_error(FaultInjected("fault injection: raise"))
                     started = time.perf_counter()
-                    result = self._session.fork().check(job.source)
+                    result = self._session.fork().check(
+                        job.source, lint=self.config.lint
+                    )
                     duration = (time.perf_counter() - started) * 1000.0
                     outcomes[job.index] = (result, duration)
                 except ResilienceError as exc:

@@ -49,6 +49,8 @@ from ..core.terms import (
     instantiate,
 )
 from ..core.types import TCon, TForall, TVar, Type, constructor_arity, product
+from typing import ClassVar
+
 from ..diagnostics import Span
 from ..errors import ParseError
 from .lexer import Token, tokenize
@@ -83,6 +85,26 @@ class SpanTable:
 
     def get(self, node: Term) -> Span | None:
         return self._spans.get(id(node))
+
+    def absorb(self, other: "SpanTable", *, line: int, column: int) -> None:
+        """Merge ``other``'s spans, relocated so its line 1, column 1
+        sits at ``(line, column)`` of this table's source.
+
+        Used by the program format: each ``def``/``main`` right-hand
+        side is parsed standalone (so its spans start at 1:1) and then
+        absorbed at the line/column where the text actually appears.
+        Only line-1 columns shift -- later lines of a multi-line
+        sub-source keep their own columns.  The caller must keep the
+        other table's nodes alive (identity keys); embedding them in
+        this table's ``root`` term does that.
+        """
+        for key, span in other._spans.items():
+            self._spans[key] = Span(
+                line + span.line - 1,
+                column + span.column - 1 if span.line == 1 else span.column,
+                line + span.end_line - 1,
+                column + span.end_column - 1 if span.end_line == 1 else span.end_column,
+            )
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -220,7 +242,7 @@ class _Parser:
             left = self._note(App(App(Var(PLUS), left), right), start)
         return left
 
-    _ATOM_START = {
+    _ATOM_START: ClassVar[set[str]] = {
         "IDENT",
         "INT",
         "TRUE",

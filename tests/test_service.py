@@ -57,6 +57,7 @@ class TestSessionConfig:
             "value_restriction": True,
             "fuel": None,
             "max_depth": None,
+            "lint": False,
         }
 
 
