@@ -34,6 +34,19 @@ Design constraints, in order:
   eviction order); a ``get`` refreshes recency, a ``put`` past
   ``max_entries`` evicts the least recently used rows.
 
+* **Corruption never takes the server down.**  The file on disk is a
+  *cache* -- every byte in it is recomputable -- so a corrupt or
+  truncated SQLite file (power loss, partial copy, disk fault) must
+  degrade to a cold cache, not a crashed server.  Any
+  :class:`sqlite3.DatabaseError` -- at :meth:`~PersistentCache.__init__`
+  connect time or mid-query -- quarantines the bad file (renamed to
+  ``<path>.corrupt-<n>`` so operators can inspect it), rebuilds an
+  empty store in its place and counts the event in
+  :attr:`~PersistentCache.rebuilds`.  The interrupted ``get`` reports
+  a miss; the interrupted ``put`` retries once into the fresh store.
+  A stored row that no longer decodes (torn write that SQLite itself
+  survived) is deleted and served as a miss the same way.
+
 The cache is safe to share between threads (one connection guarded by
 a lock; the server's broker threads and event loop both touch it) and
 between processes (SQLite's own file locking; the access counter is
@@ -133,6 +146,11 @@ class PersistentCache:
     or ``":memory:"`` for tests.  Use as a context manager or call
     :meth:`close`; instances are thread-safe.
 
+    A corrupt file -- at open time or discovered mid-query -- is
+    quarantined by rename and replaced with an empty store rather than
+    raised (see the module docstring); :attr:`rebuilds` counts those
+    events for ``/stats``.
+
     >>> cache = PersistentCache(":memory:", max_entries=2)
     >>> cache.get("missing") is None
     True
@@ -145,44 +163,101 @@ class PersistentCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        #: How many times a corrupt file was quarantined and replaced
+        #: with a fresh empty store (never reset; surfaced on /stats).
+        self.rebuilds = 0
         self._lock = threading.Lock()
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(self.path, check_same_thread=False)
-        self._init_schema()
+        self._conn: sqlite3.Connection | None = None
+        try:
+            self._connect()
+        except sqlite3.DatabaseError:
+            # The file exists but is not (any longer) a SQLite database:
+            # a crash at startup would turn a disposable cache file into
+            # a serving outage.  Quarantine and start cold instead.
+            self._rebuild()
 
-    def _init_schema(self) -> None:
+    def _connect(self) -> None:
+        """(Re)open the file and ensure the schema; raises
+        :class:`sqlite3.DatabaseError` on a corrupt file (``connect``
+        itself is lazy -- the first ``PRAGMA`` is what reads the
+        header)."""
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
         with self._conn:
             (version,) = self._conn.execute("PRAGMA user_version").fetchone()
             if version not in (0, SCHEMA_VERSION):
-                # A future (or corrupt) schema: drop and start over --
+                # A future (or ancient) schema: drop and start over --
                 # this is a cache, the data is always recomputable.
                 self._conn.execute("DROP TABLE IF EXISTS verdicts")
             self._conn.executescript(_SCHEMA)
             self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+
+    def _quarantine_path(self) -> str:
+        """The first free ``<path>.corrupt-<n>`` name (no wall clock:
+        deterministic, and collisions step the counter)."""
+        n = 1
+        while os.path.exists(f"{self.path}.corrupt-{n}"):
+            n += 1
+        return f"{self.path}.corrupt-{n}"
+
+    def _rebuild(self) -> str | None:
+        """Quarantine the corrupt file by rename and reconnect to a
+        fresh empty store.  Returns the quarantine path (``None`` for
+        ``:memory:``).  Caller holds the lock (or is ``__init__``)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - close never blocks us
+                pass
+            self._conn = None
+        quarantined: str | None = None
+        if self.path != ":memory:" and os.path.exists(self.path):
+            quarantined = self._quarantine_path()
+            os.replace(self.path, quarantined)
+        self.rebuilds += 1
+        self._connect()
+        return quarantined
 
     # -- the dict-shaped surface -------------------------------------------
 
     def get(self, key: str) -> Result | None:
         """The stored verdict for ``key``, refreshing its recency; or
         ``None``.  Decoded results always report ``cached=False`` --
-        the service layer stamps serving metadata itself."""
+        the service layer stamps serving metadata itself.  Corruption
+        discovered here (file-level or a row that no longer decodes)
+        degrades to a miss, never to an exception."""
         with self._lock:
-            row = self._conn.execute(
-                "SELECT payload FROM verdicts WHERE key = ?", (key,)
-            ).fetchone()
-            if row is None:
+            try:
+                row = self._conn.execute(
+                    "SELECT payload FROM verdicts WHERE key = ?", (key,)
+                ).fetchone()
+                if row is None:
+                    self.misses += 1
+                    return None
+                with self._conn:
+                    self._conn.execute(
+                        "UPDATE verdicts SET seq = "
+                        "(SELECT COALESCE(MAX(seq), 0) + 1 FROM verdicts) "
+                        "WHERE key = ?",
+                        (key,),
+                    )
+            except sqlite3.DatabaseError:
+                self._rebuild()
                 self.misses += 1
                 return None
-            with self._conn:
-                self._conn.execute(
-                    "UPDATE verdicts SET seq = "
-                    "(SELECT COALESCE(MAX(seq), 0) + 1 FROM verdicts) "
-                    "WHERE key = ?",
-                    (key,),
-                )
+            try:
+                decoded = decode_result(row[0])
+            except (ValueError, KeyError, TypeError):
+                # A torn row SQLite itself survived: drop it, miss.
+                with self._conn:
+                    self._conn.execute(
+                        "DELETE FROM verdicts WHERE key = ?", (key,)
+                    )
+                self.misses += 1
+                return None
             self.hits += 1
-        return decode_result(row[0])
+        return decoded
 
     def put(self, key: str, result: Result) -> bool:
         """Store one verdict; returns whether it was persisted.
@@ -190,13 +265,23 @@ class PersistentCache:
         Results carrying any volatile diagnostic code are refused (see
         the module docstring) -- this gate is deliberately duplicated
         here so no caller wiring mistake can leak a crash or shed
-        verdict into the durable tier."""
+        verdict into the durable tier.  A corrupt file is quarantined,
+        rebuilt and the write retried once into the fresh store."""
         if any(
             d.code in VOLATILE_RESILIENCE_CODES for d in result.diagnostics
         ):
             return False
         payload = encode_result(result)
-        with self._lock, self._conn:
+        with self._lock:
+            try:
+                self._put_locked(key, payload)
+            except sqlite3.DatabaseError:
+                self._rebuild()
+                self._put_locked(key, payload)
+        return True
+
+    def _put_locked(self, key: str, payload: str) -> None:
+        with self._conn:
             self._conn.execute(
                 "INSERT OR REPLACE INTO verdicts (key, payload, seq) VALUES "
                 "(?, ?, (SELECT COALESCE(MAX(seq), 0) + 1 FROM verdicts))",
@@ -212,17 +297,34 @@ class PersistentCache:
                     "SELECT key FROM verdicts ORDER BY seq LIMIT ?)",
                     (excess,),
                 )
-        return True
 
     def __len__(self) -> int:
         with self._lock:
-            return self._conn.execute(
-                "SELECT COUNT(*) FROM verdicts"
-            ).fetchone()[0]
+            try:
+                return self._conn.execute(
+                    "SELECT COUNT(*) FROM verdicts"
+                ).fetchone()[0]
+            except sqlite3.DatabaseError:
+                self._rebuild()
+                return 0
 
     def clear(self) -> None:
-        with self._lock, self._conn:
-            self._conn.execute("DELETE FROM verdicts")
+        with self._lock:
+            try:
+                with self._conn:
+                    self._conn.execute("DELETE FROM verdicts")
+            except sqlite3.DatabaseError:
+                self._rebuild()
+
+    def flush(self) -> None:
+        """Commit any write the connection still holds open (the
+        drain-clean shutdown path calls this before exiting; writes are
+        normally committed per-``put``, so this is a cheap no-op)."""
+        with self._lock:
+            try:
+                self._conn.commit()
+            except sqlite3.DatabaseError:  # pragma: no cover - defensive
+                self._rebuild()
 
     # -- lifecycle ----------------------------------------------------------
 

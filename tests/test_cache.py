@@ -134,6 +134,163 @@ class TestPersistentCache:
             assert len(cache) == 0
 
 
+class TestCorruptionRecovery:
+    """File-level corruption must degrade to a cold cache, never crash.
+
+    Regression: `PersistentCache.__init__` used to let
+    `sqlite3.DatabaseError` escape on a corrupt (non-SQLite-header)
+    file -- only a wrong `user_version` was handled -- which took the
+    whole server down at startup."""
+
+    def _corrupt_by_truncation(self, path) -> bytes:
+        """Write a valid populated store, then cut the file mid-bytes
+        (past the header, so `connect` succeeds and the first PRAGMA
+        read is what explodes)."""
+        (result,) = fresh_results("poly ~id")
+        with PersistentCache(path) as cache:
+            for key in ("a", "b", "c"):
+                cache.put(key, result)
+        data = path.read_bytes()
+        assert len(data) > 1024
+        truncated = data[: len(data) // 2 + 7]
+        path.write_bytes(truncated)
+        return truncated
+
+    def test_truncated_file_at_startup_is_quarantined_and_rebuilt(
+        self, tmp_path
+    ):
+        path = tmp_path / "v.sqlite"
+        corrupt_bytes = self._corrupt_by_truncation(path)
+        with PersistentCache(path) as cache:  # regression: used to raise
+            assert cache.rebuilds == 1
+            assert len(cache) == 0  # cold, not crashed
+            quarantined = tmp_path / "v.sqlite.corrupt-1"
+            assert quarantined.read_bytes() == corrupt_bytes  # inspectable
+            # The fresh store is fully functional.
+            (result,) = fresh_results("poly ~id")
+            assert cache.put("k", result)
+            assert cache.get("k").to_dict() == result.to_dict()
+
+    def test_zero_byte_file_at_startup_just_works(self, tmp_path):
+        # SQLite treats an empty file as a brand-new database: no
+        # quarantine needed, but it must not crash either.
+        path = tmp_path / "v.sqlite"
+        path.write_bytes(b"")
+        with PersistentCache(path) as cache:
+            assert cache.rebuilds == 0
+            (result,) = fresh_results("poly ~id")
+            assert cache.put("k", result)
+            assert len(cache) == 1
+
+    def test_garbage_header_at_startup_is_quarantined(self, tmp_path):
+        path = tmp_path / "v.sqlite"
+        path.write_bytes(b"this is not a sqlite database, honest\x00" * 40)
+        with PersistentCache(path) as cache:
+            assert cache.rebuilds == 1
+            assert len(cache) == 0
+            assert (tmp_path / "v.sqlite.corrupt-1").exists()
+
+    def test_repeated_corruption_steps_the_quarantine_counter(self, tmp_path):
+        path = tmp_path / "v.sqlite"
+        for n in (1, 2):
+            path.write_bytes(b"garbage " * 64)
+            with PersistentCache(path) as cache:
+                assert cache.rebuilds == 1
+            assert (tmp_path / f"v.sqlite.corrupt-{n}").exists()
+
+    def test_mid_run_corruption_degrades_get_to_a_miss(self, tmp_path):
+        path = tmp_path / "v.sqlite"
+        (result,) = fresh_results("poly ~id")
+        cache = PersistentCache(path)
+        try:
+            cache.put("k", result)
+
+            class ExplodingConnection:
+                def execute(self, *args):
+                    raise sqlite3.DatabaseError("database disk image is malformed")
+
+                def close(self):
+                    pass
+
+            real = cache._conn
+            cache._conn = ExplodingConnection()
+            real.close()
+            assert cache.get("k") is None  # miss, not an exception
+            assert cache.rebuilds == 1
+            assert cache.misses == 1
+            assert (tmp_path / "v.sqlite.corrupt-1").exists()
+            # The rebuilt store serves subsequent traffic normally.
+            assert cache.put("k", result)
+            assert cache.get("k") is not None
+        finally:
+            cache.close()
+
+    def test_mid_run_corruption_retries_put_into_the_fresh_store(
+        self, tmp_path
+    ):
+        path = tmp_path / "v.sqlite"
+        (result,) = fresh_results("poly ~id")
+        cache = PersistentCache(path)
+        try:
+
+            class ExplodingConnection:
+                def execute(self, *args):
+                    raise sqlite3.DatabaseError("malformed")
+
+                def close(self):
+                    pass
+
+                def __enter__(self):
+                    return self
+
+                def __exit__(self, *exc_info):
+                    return False
+
+            real = cache._conn
+            cache._conn = ExplodingConnection()
+            real.close()
+            assert cache.put("k", result)  # quarantine, rebuild, retry
+            assert cache.rebuilds == 1
+            assert cache.get("k").to_dict() == result.to_dict()
+        finally:
+            cache.close()
+
+    def test_undecodable_row_is_dropped_and_served_as_a_miss(self, tmp_path):
+        path = tmp_path / "v.sqlite"
+        (result,) = fresh_results("poly ~id")
+        with PersistentCache(path) as cache:
+            cache.put("k", result)
+            with cache._lock, cache._conn:
+                cache._conn.execute(
+                    "UPDATE verdicts SET payload = ? WHERE key = ?",
+                    ('{"torn": true}', "k"),
+                )
+            assert cache.get("k") is None
+            assert cache.misses == 1
+            assert len(cache) == 0  # the torn row is gone
+            assert cache.rebuilds == 0  # file-level store is fine
+
+    def test_service_startup_over_a_corrupt_file_serves_normally(
+        self, tmp_path
+    ):
+        path = tmp_path / "v.sqlite"
+        path.write_bytes(b"\x00" * 3 + b"corrupt" * 100)
+        with TypecheckService(
+            SessionConfig(), persistent_cache=str(path)
+        ) as service:
+            response = service.check("poly ~id")
+            assert response.ok
+            assert service.persistent_cache.rebuilds == 1
+            assert len(service.persistent_cache) == 1
+
+    def test_flush_is_a_cheap_no_op_between_puts(self, tmp_path):
+        (result,) = fresh_results("poly ~id")
+        with PersistentCache(tmp_path / "v.sqlite") as cache:
+            cache.put("k", result)
+            cache.flush()
+            assert cache.get("k") is not None
+
+
 class TestServiceIntegration:
     """`TypecheckService(persistent_cache=...)`: the durable tier under
     the in-memory cache."""
