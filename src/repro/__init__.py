@@ -83,6 +83,7 @@ from .corpus.signatures import prelude, prelude_with
 from .diagnostics import Diagnostic, Severity, Span, diagnostic_from_error
 from .errors import (
     BudgetExceededError,
+    CircuitOpenError,
     FreezeMLError,
     LoadShedError,
     ResilienceError,
@@ -95,7 +96,7 @@ from .syntax.parser import parse_term, parse_type
 from .syntax.pretty import pretty_term, pretty_type
 
 #: single source of truth for the package version (setup.py reads it).
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ENGINES",
@@ -103,6 +104,7 @@ __all__ = [
     "BudgetExceededError",
     "CheckRequest",
     "CheckResponse",
+    "CircuitOpenError",
     "Diagnostic",
     "Engine",
     "FaultPlan",

@@ -63,12 +63,14 @@ Warnings never change the exit status unless ``--strict-warnings`` is
 given, which turns an otherwise-clean exit 0 into exit 1 when any
 warning was reported.
 
-    python -m repro serve [--host ADDR] [--port N] [--jobs N]
+    python -m repro serve [--host ADDR] [--port N] [--jobs N] [--shards N]
                           [--engine=ENGINE] [--strategy=v|e]
                           [--no-value-restriction] [--fuel N]
                           [--max-depth N] [--timeout SECS]
                           [--cache=FILE | --no-persist] [--no-cache]
                           [--max-pending N] [--no-coalesce]
+                          [--breaker-threshold N | --no-breaker]
+                          [--breaker-cooldown SECS] [--drain-timeout SECS]
 
 starts the asyncio HTTP serving tier (:mod:`repro.server`): ``POST
 /check`` (single program or batch -- batch responses are byte-identical
@@ -79,7 +81,14 @@ persist across restarts in a SQLite cache (``--cache=FILE``; default
 in-memory only), and requests beyond ``--max-pending`` queued sources
 are shed to the deterministic ``FML903`` verdict.  A request may name
 a fuel class (``{"fuel_class": "low" | "default" | "high"}``) resolved
-against the ``--fuel`` base.
+against the ``--fuel`` base.  ``--shards N`` splits each class's
+keyspace across N supervised services (dispatch thread + worker pool
+each); a shard tripping its circuit breaker (``--breaker-threshold``
+consecutive fault verdicts, re-probed after ``--breaker-cooldown``
+seconds) sheds its keys to the deterministic ``FML904`` verdict while
+the other shards keep serving.  SIGTERM drains clean: new ``POST
+/check`` gets 503, in-flight work completes up to ``--drain-timeout``
+seconds, the persistent cache flushes, and the process exits 0.
 
     python -m repro bench [--quick] [--all] [--output=FILE]
                           [--compare=OLD.json]
@@ -92,7 +101,10 @@ runs each benchmark once with timing disabled (the CI smoke mode);
 default set.  ``--compare=OLD.json`` additionally diffs the fresh run
 against a saved baseline and prints per-group speedups, flagging >10%
 regressions (``--compare=BENCH_solver.json`` regenerates the baseline
-in place and diffs against its previous contents).
+in place and diffs against its previous contents).  The comparison is
+also an SLO gate: serving-tier benchmarks record client-observed
+``p99_ms`` in their ``extra_info``, and a fresh p99 more than 25%
+above the baseline's fails the run (exit 1).
 """
 
 from __future__ import annotations
@@ -447,10 +459,12 @@ def run_check(argv: list[str]) -> int:
 
 SERVE_USAGE = (
     "usage: python -m repro serve [--host ADDR] [--port N] [--jobs N] "
-    "[--engine=ENGINE] [--strategy=v|e] [--no-value-restriction] "
-    "[--fuel N] [--max-depth N] [--timeout SECS] "
+    "[--shards N] [--engine=ENGINE] [--strategy=v|e] "
+    "[--no-value-restriction] [--fuel N] [--max-depth N] [--timeout SECS] "
     "[--cache=FILE | --no-persist] [--no-cache] "
-    "[--max-pending N] [--no-coalesce] [--lint]"
+    "[--max-pending N] [--no-coalesce] [--lint] "
+    "[--breaker-threshold N | --no-breaker] [--breaker-cooldown SECS] "
+    "[--drain-timeout SECS]"
 )
 
 
@@ -473,6 +487,10 @@ def parse_serve_args(argv: list[str]) -> dict | str:
         "max_depth": None,
         "timeout": None,
         "lint": False,
+        "shards": 1,
+        "breaker_threshold": 5,
+        "breaker_cooldown": 5.0,
+        "drain_timeout": 10.0,
     }
     i = 0
     while i < len(argv):
@@ -501,8 +519,18 @@ def parse_serve_args(argv: list[str]) -> dict | str:
             if raw is None:
                 return "--cache needs a file path"
             opts["cache_path"] = raw
-        elif arg in ("--port", "--jobs", "--max-pending") or arg.startswith(
-            ("--port=", "--jobs=", "--max-pending=")
+        elif arg == "--no-breaker":
+            opts["breaker_threshold"] = None
+        elif arg in (
+            "--port", "--jobs", "--max-pending", "--shards", "--breaker-threshold"
+        ) or arg.startswith(
+            (
+                "--port=",
+                "--jobs=",
+                "--max-pending=",
+                "--shards=",
+                "--breaker-threshold=",
+            )
         ):
             flag = "--" + arg.lstrip("-").split("=", 1)[0]
             raw, i = _flag_value(argv, i, flag)
@@ -512,7 +540,13 @@ def parse_serve_args(argv: list[str]) -> dict | str:
                 value = int(raw)
             except ValueError:
                 return f"{flag} needs an integer, got {raw!r}"
-            floor = {"--port": 0, "--jobs": 1, "--max-pending": 0}[flag]
+            floor = {
+                "--port": 0,
+                "--jobs": 1,
+                "--max-pending": 0,
+                "--shards": 1,
+                "--breaker-threshold": 1,
+            }[flag]
             if value < floor:
                 return f"{flag} must be >= {floor}, got {value}"
             opts[flag.lstrip("-").replace("-", "_")] = value
@@ -540,6 +574,21 @@ def parse_serve_args(argv: list[str]) -> dict | str:
                 return f"--timeout needs a number of seconds, got {raw!r}"
             if opts["timeout"] <= 0:
                 return f"--timeout must be positive, got {raw}"
+        elif arg in ("--breaker-cooldown", "--drain-timeout") or arg.startswith(
+            ("--breaker-cooldown=", "--drain-timeout=")
+        ):
+            flag = "--" + arg.lstrip("-").split("=", 1)[0]
+            key = flag.lstrip("-").replace("-", "_")
+            raw, i = _flag_value(argv, i, flag)
+            if raw is None:
+                return f"{flag} needs a number of seconds"
+            try:
+                value = float(raw)
+            except ValueError:
+                return f"{flag} needs a number of seconds, got {raw!r}"
+            if value < 0:
+                return f"{flag} must be >= 0, got {raw}"
+            opts[key] = value
         else:
             return f"unknown serve option {arg}"
         i += 1
@@ -579,6 +628,10 @@ def run_serve(argv: list[str]) -> int:
             cache_path=cache_path if opts["persist"] else None,
             max_pending=opts["max_pending"],
             coalesce=opts["coalesce"],
+            shards=opts["shards"],
+            breaker_threshold=opts["breaker_threshold"],
+            breaker_cooldown=opts["breaker_cooldown"],
+            drain_timeout=opts["drain_timeout"],
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -658,6 +711,40 @@ def format_bench_comparison(
             "only in new run: " + ", ".join(f"{g}:{n}" for g, n in only_new)
         )
     return lines
+
+
+def slo_violations(
+    old_doc: dict,
+    new_doc: dict,
+    metric: str = "p99_ms",
+    threshold: float = 1.25,
+) -> "list[tuple[str, str, float, float]]":
+    """Benchmarks whose ``extra_info[metric]`` regressed past the SLO.
+
+    The serving-tier suites record client-observed latency percentiles
+    in ``extra_info`` precisely so ``bench --compare`` can gate on
+    them: a fresh value more than ``threshold`` times the baseline's
+    is a violation.  Returns ``(group, name, old, new)`` rows; pure
+    function over the two JSON documents, like
+    :func:`format_bench_comparison`.
+    """
+    old: dict[tuple[str, str], float] = {}
+    for bench in old_doc.get("benchmarks", ()):
+        value = bench.get("extra_info", {}).get(metric)
+        if isinstance(value, (int, float)) and value > 0:
+            old[(bench.get("group") or "", bench["name"])] = value
+    violations: list[tuple[str, str, float, float]] = []
+    for bench in new_doc.get("benchmarks", ()):
+        key = (bench.get("group") or "", bench["name"])
+        value = bench.get("extra_info", {}).get(metric)
+        baseline = old.get(key)
+        if (
+            baseline is not None
+            and isinstance(value, (int, float))
+            and value > threshold * baseline
+        ):
+            violations.append((*key, baseline, value))
+    return sorted(violations)
 
 
 def build_bench_command(
@@ -761,6 +848,16 @@ def run_bench(argv: list[str]) -> int:
             print(f"\ncomparison against {compare_path}:")
             for line in format_bench_comparison(baseline, fresh):
                 print(line)
+            violations = slo_violations(baseline, fresh)
+            if violations:
+                print("\nSLO gate FAILED: p99 regressed >25% vs baseline:")
+                for group, name, old_p99, new_p99 in violations:
+                    print(
+                        f"  {group}:{name}: p99 {old_p99:.3f} ms ->"
+                        f" {new_p99:.3f} ms ({new_p99 / old_p99:.2f}x)"
+                    )
+                return 1
+            print("SLO gate: all recorded p99 latencies within 25% of baseline")
     return code
 
 

@@ -478,6 +478,7 @@ class TypecheckService:
         )
         self._faults_fired: set[tuple[str, int]] = set()
         self._dispatched = 0  # lifetime dispatch ordinal (fault addressing)
+        self._aborted = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -498,6 +499,23 @@ class TypecheckService:
         if self._owns_persistent and self.persistent_cache is not None:
             self.persistent_cache.close()
             self.persistent_cache = None
+
+    def abort(self) -> None:
+        """Abandon the service from *outside* its dispatch thread.
+
+        A supervisor that decides a service's dispatch thread is
+        unresponsive cannot join it -- the thread may be blocked on a
+        hung worker for an unbounded time.  ``abort()`` makes
+        abandonment safe: it terminates the current pool (unblocking
+        the ``future.result()`` wait with ``BrokenProcessPool``) and
+        flips a flag the dispatch loops check before every (re)dispatch,
+        so the abandoned thread degrades its remaining jobs to
+        ``FML911`` verdicts and returns instead of building fresh pools
+        through the crash-recovery retry machinery.  Irreversible;
+        callers replace the service rather than reviving it.
+        """
+        self._aborted = True
+        self._discard_pool()
 
     def __enter__(self) -> "TypecheckService":
         return self
@@ -738,6 +756,17 @@ class TypecheckService:
             time.sleep(self.retry_backoff * job.attempts)
         return None
 
+    def _abort_group(
+        self, jobs: list[_Job], outcomes: dict[int, tuple[Result, float]]
+    ) -> None:
+        """Degrade every job in an aborted dispatch without running it.
+        ``FML911`` is volatile, so nothing here is cached or
+        quarantined; the replacement service re-answers these keys."""
+        exc = WorkerCrashError("service aborted during dispatch")
+        for job in jobs:
+            if job.index not in outcomes:
+                outcomes[job.index] = (self._degraded(job.source, exc), 0.0)
+
     def _raise_error(self, exc: BaseException) -> WorkerCrashError:
         """The (deterministic) verdict text for a worker-raised
         exception -- shared by the pooled and serial paths so fault
@@ -755,6 +784,9 @@ class TypecheckService:
         outcomes: dict[int, tuple[Result, float]] = {}
         for job in jobs:
             while job.index not in outcomes:
+                if self._aborted:
+                    self._abort_group(jobs, outcomes)
+                    break
                 fault = self._fault_directive(job)
                 try:
                     if fault == "crash":
@@ -803,6 +835,9 @@ class TypecheckService:
         outcomes: dict[int, tuple[Result, float]],
         groups: deque[list[_Job]],
     ) -> None:
+        if self._aborted:
+            self._abort_group(group, outcomes)
+            return
         plan = self._fault_plan
         hang_seconds = plan.hang_seconds if plan is not None else 30.0
         submitted: list[tuple[_Job, object]] = []

@@ -328,8 +328,83 @@ class TestLifecycle:
         stats = TypecheckService().stats.to_dict()
         for key in ("timeouts", "crashes", "retries", "quarantined", "shed"):
             assert stats[key] == 0
-        # FML903 (load shed) is volatile by decision, not by bytes: the
-        # verdict is deterministic but whether a request is shed is not.
+        # FML903 (load shed) and FML904 (circuit open) are volatile by
+        # decision, not by bytes: the verdicts are deterministic but
+        # whether a request is shed is not.
         assert VOLATILE_RESILIENCE_CODES == frozenset(
-            {"FML903", "FML910", "FML911", "FML912"}
+            {"FML903", "FML904", "FML910", "FML911", "FML912"}
         )
+
+
+class TestShardChaosHTTP:
+    """The FaultPlan drill at the HTTP layer: crash and hang faults
+    poison two shards of a ``repro serve`` instance; the non-faulted
+    shards keep serving with verdict bytes that match the serial run."""
+
+    def test_crash_and_hang_across_shards_leave_the_rest_byte_identical(self):
+        from repro.server import ServerThread
+        from test_server import get, post_check, shard_partition
+
+        plans = {
+            1: FaultPlan(crash=(0,), persistent=True, period=1),
+            2: FaultPlan(hang=(0,), persistent=True, period=1),
+        }
+        with ServerThread(
+            config=SessionConfig(),
+            shards=4,
+            shard_fault_plans=plans,
+            timeout=0.5,  # hangs degrade to FML910 without sleeping
+            breaker_threshold=2,
+            breaker_cooldown=300.0,
+            probe_interval=None,
+            max_retries=0,
+            retry_backoff=0.0,
+        ) as handle:
+            buckets = shard_partition(handle.server)
+            healthy = buckets[0] + buckets[3]
+            assert len(healthy) >= 4
+
+            # Drive the sick shards past their breaker thresholds.
+            fault_codes = {1: set(), 2: set()}
+            for index in (1, 2):
+                for source in buckets[index][:3]:
+                    status, body = post_check(handle.url, {"source": source})
+                    assert status == 200
+                    fault_codes[index].add(
+                        json.loads(body)["diagnostics"][0]["code"]
+                    )
+            assert fault_codes[1] == {"FML911", "FML904"}
+            assert fault_codes[2] == {"FML910", "FML904"}
+
+            # Non-faulted shards: byte-identical to a clean serial run.
+            _, faulted_bytes = post_check(
+                handle.url, {"programs": healthy[:8]}
+            )
+            with ServerThread(config=SessionConfig()) as clean:
+                _, clean_bytes = post_check(
+                    clean.url, {"programs": healthy[:8]}
+                )
+            assert faulted_bytes == clean_bytes
+
+            _, doc = get(handle.url, "/healthz")
+            assert doc["status"] == "degraded"
+            assert doc["shards"]["default"] == ["ok", "open", "open", "ok"]
+
+    def test_shard_fault_plan_env_poisons_exactly_one_shard(self, monkeypatch):
+        from repro.server import SHARD_FAULT_PLAN_VAR, ServerThread
+        from test_server import post_check, shard_partition
+
+        monkeypatch.setenv(SHARD_FAULT_PLAN_VAR, "1:crash@0,persistent,period=1")
+        with ServerThread(
+            config=SessionConfig(),
+            shards=2,
+            probe_interval=None,
+            max_retries=0,
+            retry_backoff=0.0,
+            breaker_threshold=None,
+        ) as handle:
+            buckets = shard_partition(handle.server)
+            _, sick = post_check(handle.url, {"source": buckets[1][0]})
+            _, well = post_check(handle.url, {"source": buckets[0][0]})
+            assert json.loads(sick)["diagnostics"][0]["code"] == "FML911"
+            assert json.loads(well)["ok"] is True

@@ -381,6 +381,44 @@ class TestBenchCommand:
         bad.write_text("{not json")
         assert run_bench([f"--compare={bad}"]) == 2
 
+    @pytest.mark.parametrize(
+        "fresh_p99, expected", ((60.0, 1), (42.0, 0)), ids=("regressed", "ok")
+    )
+    def test_compare_gates_on_the_p99_slo(
+        self, tmp_path, monkeypatch, capsys, fresh_p99, expected
+    ):
+        """``bench --compare`` exits 1 when a recorded p99 regresses
+        past the SLO.  The pytest subprocess is stubbed out: the stub
+        writes the fresh JSON where ``--benchmark-json`` points, which
+        is all ``run_bench`` sees of a real run."""
+        import subprocess
+
+        from repro.cli import run_bench
+
+        doc = _slo_doc([("serve-load", "t[2]", {"p99_ms": 40.0})])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(doc))
+        fresh = _slo_doc([("serve-load", "t[2]", {"p99_ms": fresh_p99})])
+
+        def fake_call(cmd, **kwargs):
+            (json_arg,) = [
+                a for a in cmd if a.startswith("--benchmark-json=")
+            ]
+            with open(json_arg.split("=", 1)[1], "w") as fh:
+                json.dump(fresh, fh)
+            return 0
+
+        monkeypatch.setattr(subprocess, "call", fake_call)
+        code = run_bench(
+            [f"--output={tmp_path / 'fresh.json'}", f"--compare={baseline}"]
+        )
+        out = capsys.readouterr().out
+        assert code == expected
+        if expected:
+            assert "SLO gate FAILED" in out and "serve-load:t[2]" in out
+        else:
+            assert "SLO gate: all recorded p99" in out
+
 
 def _bench_doc(entries):
     return {
@@ -442,3 +480,78 @@ class TestBenchComparison:
         new = _bench_doc([("g", "a", 0.001), ("g", "b", 0.001)])
         (header, *_rows) = format_bench_comparison(old, new)
         assert header.startswith("g  (geomean speedup 2.00x)")
+
+
+def _slo_doc(entries):
+    return {
+        "benchmarks": [
+            {
+                "group": group,
+                "name": name,
+                "stats": {"mean": 0.01},
+                "extra_info": extra,
+            }
+            for group, name, extra in entries
+        ]
+    }
+
+
+class TestSloGate:
+    """The p99 SLO gate over ``extra_info`` (pure, like the diff)."""
+
+    def test_regression_past_threshold_is_a_violation(self):
+        from repro.cli import slo_violations
+
+        old = _slo_doc([("serve-load", "t[2]", {"p99_ms": 40.0})])
+        new = _slo_doc([("serve-load", "t[2]", {"p99_ms": 60.0})])  # 1.5x
+        assert slo_violations(old, new) == [
+            ("serve-load", "t[2]", 40.0, 60.0)
+        ]
+
+    def test_within_threshold_passes(self):
+        from repro.cli import slo_violations
+
+        old = _slo_doc([("serve-load", "t[2]", {"p99_ms": 40.0})])
+        new = _slo_doc([("serve-load", "t[2]", {"p99_ms": 48.0})])  # 1.2x
+        assert slo_violations(old, new) == []
+
+    def test_benchmarks_without_the_metric_are_ignored(self):
+        from repro.cli import slo_violations
+
+        old = _slo_doc(
+            [
+                ("serve-coalescing", "hot", {"dispatches": 3}),
+                ("solver", "deep", {}),
+            ]
+        )
+        new = _slo_doc(
+            [
+                ("serve-coalescing", "hot", {"dispatches": 900}),
+                ("solver", "deep", {}),
+            ]
+        )
+        assert slo_violations(old, new) == []
+
+    def test_new_and_dropped_benchmarks_are_not_violations(self):
+        from repro.cli import slo_violations
+
+        old = _slo_doc([("serve-load", "gone", {"p99_ms": 40.0})])
+        new = _slo_doc([("serve-load", "fresh", {"p99_ms": 999.0})])
+        assert slo_violations(old, new) == []
+
+    def test_custom_metric_and_threshold(self):
+        from repro.cli import slo_violations
+
+        old = _slo_doc([("serve-load", "t", {"p50_ms": 10.0})])
+        new = _slo_doc([("serve-load", "t", {"p50_ms": 11.5})])
+        assert slo_violations(old, new, metric="p50_ms") == []
+        assert slo_violations(
+            old, new, metric="p50_ms", threshold=1.10
+        ) == [("serve-load", "t", 10.0, 11.5)]
+
+    def test_zero_or_bogus_baseline_never_divides(self):
+        from repro.cli import slo_violations
+
+        old = _slo_doc([("g", "a", {"p99_ms": 0.0}), ("g", "b", {"p99_ms": "n/a"})])
+        new = _slo_doc([("g", "a", {"p99_ms": 50.0}), ("g", "b", {"p99_ms": 50.0})])
+        assert slo_violations(old, new) == []

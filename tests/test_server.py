@@ -1,6 +1,6 @@
 """The serving tier (`repro.server` / `python -m repro serve`).
 
-Covers the three pillars the ISSUE names:
+Covers the pillars the serving ISSUEs name:
 
 * **In-flight coalescing** -- K concurrent identical requests trigger
   exactly one worker dispatch and K byte-identical responses.
@@ -10,6 +10,11 @@ Covers the three pillars the ISSUE names:
 * **Admission control** -- overflow requests degrade to the
   deterministic ``FML903`` shed verdict: same bytes at ``jobs=1`` and
   ``jobs=N``, never cached, never persisted.
+* **Self-healing shards** -- cache-key sharding keeps responses
+  byte-identical at any shard count; a faulted shard trips its circuit
+  breaker (``FML904``, half-open recovery) while the other shards keep
+  serving; the supervisor rebuilds a wedged dispatch thread; SIGTERM
+  drains clean (503 on late requests, in-flight work completes, exit 0).
 
 Plus the HTTP surface itself: endpoint routing, error statuses, the
 ``repro check --json`` byte-identity contract, fuel classes, and the
@@ -20,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -32,9 +38,11 @@ from repro.server import (
     LOW_FUEL_FALLBACK,
     ReproServer,
     ServerThread,
+    _CircuitBreaker,
+    parse_shard_fault_plans,
     resolve_fuel_class,
 )
-from repro.service import SessionConfig
+from repro.service import FaultPlan, SessionConfig
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
@@ -219,6 +227,7 @@ class TestHTTPEndpoints:
             "status": "ok",
             "version": __version__,
             "engine": "freezeml",
+            "shards": {"default": ["ok"]},
         }
 
     def test_single_check(self, handle):
@@ -369,6 +378,39 @@ class TestServeCli:
         assert opts["host"] == "127.0.0.1" and opts["port"] == 8765
         assert opts["jobs"] == 1 and opts["max_pending"] == 256
         assert opts["coalesce"] and opts["persist"] and opts["cache"]
+        assert opts["shards"] == 1
+        assert opts["breaker_threshold"] == 5
+        assert opts["breaker_cooldown"] == 5.0
+        assert opts["drain_timeout"] == 10.0
+
+    def test_parse_serve_args_resilience_flags(self):
+        opts = parse_serve_args(
+            [
+                "--shards=4",
+                "--breaker-threshold",
+                "3",
+                "--breaker-cooldown=2.5",
+                "--drain-timeout",
+                "0",
+            ]
+        )
+        assert opts["shards"] == 4
+        assert opts["breaker_threshold"] == 3
+        assert opts["breaker_cooldown"] == 2.5
+        assert opts["drain_timeout"] == 0.0
+        assert parse_serve_args(["--no-breaker"])["breaker_threshold"] is None
+
+    def test_parse_serve_args_resilience_errors(self):
+        for argv in (
+            ["--shards=0"],
+            ["--shards", "many"],
+            ["--breaker-threshold", "0"],
+            ["--breaker-cooldown", "-1"],
+            ["--breaker-cooldown", "soon"],
+            ["--drain-timeout", "-0.5"],
+            ["--drain-timeout"],
+        ):
+            assert isinstance(parse_serve_args(argv), str), argv
 
     def test_parse_serve_args_flags(self):
         opts = parse_serve_args(
@@ -449,3 +491,429 @@ class TestServeCli:
         finally:
             process.send_signal(signal.SIGTERM)
         assert process.wait(timeout=30) == 0
+
+
+class FakeClock:
+    """A monotonic clock tests advance by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self):
+        breaker = _CircuitBreaker(threshold=3, cooldown=5.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.admit() == "allow"
+        assert breaker.trips == 0
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = _CircuitBreaker(threshold=3, cooldown=5.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never 3 in a row
+
+    def test_trips_open_at_threshold_and_sheds(self):
+        clock = FakeClock()
+        breaker = _CircuitBreaker(threshold=2, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.record_failure() is True  # this one tripped it
+        assert breaker.state == "open" and breaker.trips == 1
+        assert breaker.admit() == "shed"
+        clock.now = 4.9
+        assert breaker.admit() == "shed"  # still cooling down
+
+    def test_cooldown_elapses_into_a_single_half_open_probe(self):
+        clock = FakeClock()
+        breaker = _CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.admit() == "probe"
+        assert breaker.state == "half_open"
+        assert breaker.admit() == "shed"  # one probe at a time
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = _CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.admit() == "probe"
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.admit() == "allow"
+        assert breaker.trips == 1
+
+    def test_probe_failure_reopens_with_a_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = _CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.admit() == "probe"
+        assert breaker.record_failure() is True
+        assert breaker.state == "open" and breaker.trips == 2
+        assert breaker.admit() == "shed"
+        clock.now = 2.0
+        assert breaker.admit() == "probe"
+
+    def test_threshold_none_disables(self):
+        breaker = _CircuitBreaker(threshold=None)
+        for _ in range(100):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.admit() == "allow"
+        assert breaker.trips == 0
+
+    def test_threshold_floor(self):
+        with pytest.raises(ValueError, match="threshold"):
+            _CircuitBreaker(threshold=0)
+
+
+class TestShardFaultPlans:
+    def test_parse_multiple_entries(self):
+        plans = parse_shard_fault_plans("1:crash@0,persistent,period=1|3:hang@2")
+        assert set(plans) == {1, 3}
+        assert plans[1].crash == (0,) and plans[1].persistent
+        assert plans[1].period == 1
+        assert plans[3].hang == (2,)
+
+    def test_parse_empty_and_errors(self):
+        assert parse_shard_fault_plans("") == {}
+        assert parse_shard_fault_plans(" | ") == {}
+        with pytest.raises(ValueError, match="shard fault entry"):
+            parse_shard_fault_plans("crash@0")
+
+
+class TestSharding:
+    def test_keys_spread_across_shards(self):
+        server = ReproServer(SessionConfig(), shards=4)
+        try:
+            sources = [f"1 + {i}" for i in range(32)]
+            results = run_admit(server, *sources)
+            assert all(r.ok for r in results)
+            group = server.broker("default")
+            per_shard = [s.service.stats.requests for s in group.shards]
+            assert sum(per_shard) == 32
+            assert sum(1 for n in per_shard if n) >= 2  # actually sharded
+        finally:
+            server.close()
+
+    def test_routing_is_stable_and_total(self):
+        server = ReproServer(SessionConfig(), shards=4)
+        try:
+            group = server.broker("default")
+            for i in range(64):
+                key = group.cache_key(f"1 + {i}")
+                assert group.shard_for(key) is group.shard_for(key)
+                assert group.shard_for(key) in group.shards
+        finally:
+            server.close()
+
+    def test_coalescing_still_works_per_shard(self):
+        server = ReproServer(SessionConfig(), shards=4)
+        try:
+            results = run_admit(server, *["poly ~id"] * 6)
+            assert all(r.ok for r in results)
+            group = server.broker("default")
+            assert sum(s.service.stats.misses for s in group.shards) == 1
+            assert sum(s.service.stats.coalesced for s in group.shards) == 5
+        finally:
+            server.close()
+
+    @pytest.mark.parametrize("shards", (2, 4))
+    def test_sharded_responses_byte_identical_to_serial(self, shards):
+        files = sorted(EXAMPLES_DIR.glob("*.fml"))
+        programs = [{"source": f.read_text(), "label": str(f)} for f in files]
+        payload = {"programs": programs}
+        with ServerThread(config=SessionConfig()) as handle:
+            _, serial = post_check(handle.url, payload)
+        with ServerThread(config=SessionConfig(), shards=shards) as handle:
+            _, sharded = post_check(handle.url, payload)
+        assert sharded == serial
+
+    def test_no_dispatch_thread_leak_after_close(self):
+        with ServerThread(config=SessionConfig(), shards=3) as handle:
+            status, _ = post_check(handle.url, {"source": "poly ~id"})
+            assert status == 200
+        leaked = [
+            t.name
+            for t in threading.enumerate()
+            if t.name.startswith("repro-serve-s")
+        ]
+        assert leaked == []
+
+
+def shard_partition(server: ReproServer, count: int = 48) -> "dict[int, list[str]]":
+    """Distinct sources bucketed by the shard index they route to."""
+    group = server.broker("default")
+    buckets: dict[int, list[str]] = {i: [] for i in range(len(group.shards))}
+    for i in range(count):
+        source = f"1 + {i}"
+        shard = group.shard_for(group.cache_key(source))
+        buckets[shard.index].append(source)
+    return buckets
+
+
+class TestCircuitBreakerIntegration:
+    """A persistently crashing shard trips its breaker; the rest of the
+    keyspace keeps serving with byte-identical verdicts (the kill
+    drill's in-process half)."""
+
+    @pytest.fixture()
+    def faulted(self):
+        with ServerThread(
+            config=SessionConfig(),
+            shards=4,
+            shard_fault_plans={1: FaultPlan(crash=(0,), persistent=True, period=1)},
+            breaker_threshold=2,
+            breaker_cooldown=300.0,  # stays open for the whole test
+            probe_interval=None,
+            max_retries=0,
+            retry_backoff=0.0,
+        ) as handle:
+            yield handle
+
+    def test_faulted_shard_degrades_then_sheds_while_others_serve(self, faulted):
+        buckets = shard_partition(faulted.server)
+        sick, healthy = buckets[1], buckets[0] + buckets[2] + buckets[3]
+        assert len(sick) >= 3 and len(healthy) >= 3
+
+        verdicts = []
+        for source in sick[:4]:
+            status, body = post_check(faulted.url, {"source": source})
+            assert status == 200
+            verdicts.append(json.loads(body)["diagnostics"][0]["code"])
+        # Two crash verdicts feed the breaker; from the trip on, FML904.
+        assert verdicts[:2] == ["FML911", "FML911"]
+        assert verdicts[2:] == ["FML904"] * len(verdicts[2:])
+
+        # The other shards' keyspace is untouched: verdicts byte-match
+        # an unfaulted serial server.
+        _, faulted_bytes = post_check(faulted.url, {"programs": healthy[:6]})
+        with ServerThread(config=SessionConfig()) as clean:
+            _, clean_bytes = post_check(clean.url, {"programs": healthy[:6]})
+        assert faulted_bytes == clean_bytes
+
+        status, doc = get(faulted.url, "/healthz")
+        assert status == 200
+        assert doc["status"] == "degraded"
+        assert doc["shards"]["default"] == ["ok", "open", "ok", "ok"]
+
+        _, stats = get(faulted.url, "/stats")
+        entry = stats["classes"]["default"]
+        assert entry["trips"] == 1
+        assert entry["circuit_shed"] == len(verdicts) - 2
+        assert entry["shards"][1]["breaker"]["state"] == "open"
+        assert entry["shards"][1]["breaker"]["trips"] == 1
+
+    def test_circuit_shed_bytes_are_deterministic_and_uncached(self, faulted):
+        buckets = shard_partition(faulted.server)
+        sick = buckets[1]
+        # Trip the breaker (threshold 2), then shed the same source twice.
+        for source in sick[:2]:
+            post_check(faulted.url, {"source": source})
+        _, first = post_check(faulted.url, {"source": sick[2]})
+        _, second = post_check(faulted.url, {"source": sick[2]})
+        assert first == second
+        doc = json.loads(second)
+        assert doc["diagnostics"][0]["code"] == "FML904"
+        assert "breaker threshold 2" in doc["diagnostics"][0]["message"]
+        span = doc["diagnostics"][0]["span"]
+        assert span["line"] == 1 and span["column"] == 1
+        # Never cached: the shed verdict must not pin the key.
+        shard = faulted.server.broker("default").shards[1]
+        assert shard.service.cache_key(sick[2]) not in shard.service._cache
+
+    def test_half_open_probe_recovers_a_healed_shard(self):
+        # Crashes at the first three dispatch ordinals only: the fourth
+        # dispatch (the second half-open probe) succeeds and closes the
+        # breaker.
+        with ServerThread(
+            config=SessionConfig(),
+            shards=1,
+            shard_fault_plans={0: FaultPlan(crash=(0, 1, 2))},
+            breaker_threshold=2,
+            breaker_cooldown=0.0,  # probe immediately
+            probe_interval=None,
+            max_retries=0,
+            retry_backoff=0.0,
+        ) as handle:
+            codes = []
+            for i in range(5):
+                status, body = post_check(handle.url, {"source": f"1 + {i}"})
+                assert status == 200
+                doc = json.loads(body)
+                codes.append(
+                    doc["diagnostics"][0]["code"] if not doc["ok"] else "ok"
+                )
+            # 0: crash (failure 1), 1: crash (trips open), 2: probe ->
+            # crash (re-opens), 3: probe -> success (closes), 4: normal.
+            assert codes == ["FML911", "FML911", "FML911", "ok", "ok"]
+            breaker = handle.server.broker("default").shards[0].breaker
+            assert breaker.state == "closed" and breaker.trips == 2
+            _, doc = get(handle.url, "/healthz")
+            assert doc["status"] == "ok"
+
+
+class TestSupervisorRebuild:
+    def test_wedged_dispatch_thread_is_rebuilt(self):
+        with ServerThread(
+            config=SessionConfig(),
+            probe_interval=None,  # tests drive supervision by hand
+            probe_timeout=0.05,
+            probe_limit=2,
+            breaker_threshold=None,
+        ) as handle:
+            server = handle.server
+            shard = server.broker("default").shards[0]
+            gate = threading.Event()
+            try:
+                # Wedge the dispatch thread behind an event the service
+                # deadline machinery cannot see.
+                shard.executor.submit(gate.wait)
+
+                async def enqueue():
+                    return shard.submit(
+                        shard.service.cache_key("1 + 1"), "1 + 1"
+                    )
+
+                future = handle.run_on_loop(enqueue)
+                handle.run_on_loop(lambda: asyncio.sleep(0.1))
+                assert shard.current_batch  # stuck behind the wedge
+
+                handle.run_on_loop(server._supervise_once)
+                assert shard.probe_failures == 1
+                assert shard.readiness() == "degraded"
+                _, doc = get(handle.url, "/healthz")
+                assert doc["status"] == "degraded"
+
+                handle.run_on_loop(server._supervise_once)
+                assert shard.rebuilds == 1
+                assert shard.probe_failures == 0
+                assert shard.current_batch == []
+
+                # The batch that was in flight degraded deterministically.
+                async def harvest():
+                    return await asyncio.wait_for(future, timeout=5)
+
+                result = handle.run_on_loop(harvest)
+                assert not result.ok
+                (diag,) = result.diagnostics
+                assert diag.code == "FML911"
+                assert "shard rebuilt" in diag.message
+            finally:
+                gate.set()  # release the abandoned thread
+
+            # The replacement shard serves normally.
+            status, body = post_check(handle.url, {"source": "poly ~id"})
+            assert status == 200 and json.loads(body)["ok"] is True
+            _, doc = get(handle.url, "/healthz")
+            assert doc["status"] == "ok"
+            _, stats = get(handle.url, "/stats")
+            assert stats["classes"]["default"]["rebuilds"] == 1
+
+    def test_probe_skips_busy_but_progressing_shards(self):
+        with ServerThread(
+            config=SessionConfig(), probe_interval=None, probe_timeout=0.05
+        ) as handle:
+            server = handle.server
+            shard = server.broker("default").shards[0]
+            post_check(handle.url, {"source": "poly ~id"})
+            assert shard.completed_batches >= 1
+            handle.run_on_loop(server._supervise_once)
+            # Progress since the last probe: counted, not probed.
+            assert shard.probe_failures == 0
+            assert shard.probed_batches == shard.completed_batches
+
+    def test_idle_shard_probes_clean(self):
+        with ServerThread(
+            config=SessionConfig(), probe_interval=None, probe_timeout=1.0
+        ) as handle:
+            handle.run_on_loop(handle.server._supervise_once)
+            shard = handle.server.broker("default").shards[0]
+            assert shard.probe_failures == 0 and shard.rebuilds == 0
+
+
+class TestDrain:
+    def test_draining_rejects_new_checks_with_503(self):
+        with ServerThread(config=SessionConfig()) as handle:
+            assert handle.run_on_loop(lambda: handle.server.drain(0.2)) is True
+            status, body = post_check(handle.url, {"source": "poly ~id"})
+            assert status == 503
+            assert "draining" in json.loads(body)["error"]
+            status, doc = get(handle.url, "/healthz")
+            assert status == 200 and doc["status"] == "draining"
+            _, stats = get(handle.url, "/stats")
+            assert stats["status"] == "draining"
+
+    def test_sigterm_drains_in_flight_work_then_exits_zero(self):
+        # The drill the acceptance criteria name: a request is on the
+        # workers when SIGTERM lands; the server must answer it (200),
+        # refuse late arrivals (503), and exit 0.
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        env = {
+            **os.environ,
+            "PYTHONPATH": "src",
+            # First dispatch hangs ~3s in its worker, then completes:
+            # a deterministic in-flight window for the TERM to land in.
+            "REPRO_FAULT_PLAN": "hang@0,hang_seconds=3",
+        }
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--jobs",
+                "2",
+                "--no-persist",
+                "--drain-timeout",
+                "30",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=Path(__file__).resolve().parent.parent,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "listening on http://" in banner
+            url = banner.split("listening on ")[1].split()[0]
+
+            inflight: dict = {}
+
+            def slow_check():
+                inflight["response"] = post_check(url, {"source": "poly ~id"})
+
+            worker = threading.Thread(target=slow_check)
+            worker.start()
+            import time as time_mod
+
+            time_mod.sleep(1.0)  # the check is now hanging on a worker
+            process.send_signal(signal.SIGTERM)
+            time_mod.sleep(0.3)
+            late_status, late_body = post_check(url, {"source": "1 + 2"})
+            worker.join(timeout=30)
+        finally:
+            # A second TERM would force-kill mid-drain (handlers are
+            # removed once the first lands), so wait before cleanup.
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+        assert process.returncode == 0
+        assert late_status == 503
+        assert "draining" in json.loads(late_body)["error"]
+        status, body = inflight["response"]
+        assert status == 200 and json.loads(body)["ok"] is True
+        assert "drained clean" in process.stdout.read()
