@@ -15,6 +15,12 @@ down the serving-tier claims:
   the cache cannot mask it) with coalescing on versus off.  The on/off
   rows share a group, making the ratio visible in the JSON; the
   dedicated ratio test asserts the ISSUE's >= 5x claim outright.
+* **Degraded-shard throughput** (``serve-degraded``): one of four
+  shards persistently crash-poisoned via a :class:`FaultPlan`, with
+  the per-shard circuit breaker enabled versus disabled.  Breaker
+  open, requests routed to the sick shard shed instantly as FML904;
+  breaker off, every one of them burns a worker-pool respawn.  The
+  retained-throughput ratio lands in ``extra_info``.
 
 Latency percentiles are computed from the raw per-request samples --
 pytest-benchmark's own stats describe whole waves, not requests --
@@ -35,7 +41,7 @@ import pytest
 
 from repro.corpus.examples import EXAMPLES
 from repro.server import ServerThread
-from repro.service import SessionConfig
+from repro.service import FaultPlan, SessionConfig
 
 #: The traffic mix: every self-contained Figure 1 program (well- and
 #: ill-typed, exactly what a frontend sees), one request each.
@@ -88,6 +94,11 @@ def percentile(samples: list[float], q: float) -> float:
     ordered = sorted(samples)
     index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
     return ordered[index]
+
+
+def get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return json.load(response)
 
 
 @pytest.mark.parametrize("jobs", (1, 2, 4))
@@ -178,3 +189,85 @@ def test_bench_coalescing_throughput_ratio(benchmark):
     benchmark.extra_info["uncoalesced_rps"] = round(uncoalesced_rps, 1)
     benchmark.extra_info["throughput_ratio"] = round(ratio, 1)
     assert ratio >= 5.0, (coalesced_rps, uncoalesced_rps)
+
+
+#: serve-degraded wave size (6 of 24 distinct keys land on the sick
+#: shard under the fingerprint routing).
+DEGRADED_WAVE = 24
+
+#: Monotonic key stream: every serve-degraded wave uses fresh sources.
+#: Repeating a key would measure the quarantine (degraded verdicts are
+#: pinned per source and answered without dispatch), not the breaker.
+_degraded_keys = iter(range(10**9))
+
+
+def fresh_sources(count: int = DEGRADED_WAVE) -> list[str]:
+    return [f"1 + {next(_degraded_keys)}" for _ in range(count)]
+
+
+@pytest.mark.benchmark(group="serve-degraded")
+def test_bench_degraded_shard_throughput(benchmark):
+    """Throughput retained when one of four shards is sick.  Shard 1's
+    worker hangs on every dispatch (persistent FaultPlan); the 250ms
+    deadline degrades each dispatched request to FML910.  Breaker off,
+    every *new* key routed there burns a full deadline on the shard's
+    dispatch thread -- the wave's critical path.  Breaker on, two
+    timeouts trip the circuit and the rest shed instantly as
+    deterministic FML904.  Waves use fresh keys throughout: repeats
+    would hit the quarantine and hide the dispatch cost entirely."""
+    sick = FaultPlan(hang=(0,), persistent=True, period=1, hang_seconds=1.0)
+
+    def run(breaker_threshold: "int | None") -> float:
+        # jobs=2 per shard: the pooled path, where an injected hang
+        # really occupies a worker until the wall-clock deadline fires
+        # (jobs=1 merely *simulates* faults, free of charge, which
+        # would hide exactly the cost the breaker saves).
+        with ServerThread(
+            config=SessionConfig(),
+            jobs=2,
+            timeout=0.25,
+            cache=False,
+            shards=4,
+            shard_fault_plans={1: sick},
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=300.0,
+            probe_interval=None,
+            max_retries=0,
+            retry_backoff=0.0,
+        ) as handle:
+            # Warm pools and sockets; with the breaker on this wave
+            # also trips shard 1's circuit, so the timed wave below
+            # measures the open-breaker steady state.
+            drive_wave(handle.url, fresh_sources(), [])
+            sources = fresh_sources()
+            started = time.perf_counter()
+            responses = drive_wave(handle.url, sources, [])
+            elapsed = time.perf_counter() - started
+            health = get(handle.url + "/healthz")
+            group = handle.server.broker("default")
+            shed = sum(shard.circuit_shed for shard in group.shards)
+        codes = {
+            (r.get("diagnostics") or [{}])[0].get("code")
+            for r in responses
+            if not r["ok"]
+        }
+        if breaker_threshold is not None:
+            assert health["shards"]["default"] == ["ok", "open", "ok", "ok"]
+            assert shed > 0
+            assert codes <= {"FML904", "FML910", "FML911"}
+        else:
+            # Every sick-shard key dispatched and burned its deadline
+            # (FML911 if the discarded pool's teardown looks crashy).
+            assert codes <= {"FML910", "FML911"}
+        assert any(r["ok"] for r in responses)  # healthy shards kept serving
+        return len(sources) / elapsed
+
+    no_breaker_rps = run(None)
+    breaker_rps = benchmark.pedantic(run, args=(2,), rounds=3, iterations=1)
+    retained = breaker_rps / no_breaker_rps
+    benchmark.extra_info["breaker_open_rps"] = round(breaker_rps, 1)
+    benchmark.extra_info["no_breaker_rps"] = round(no_breaker_rps, 1)
+    benchmark.extra_info["throughput_retained"] = round(retained, 2)
+    # The breaker must retain a clear multiple of the degraded
+    # baseline: shedding is instant, a dispatched hang costs 250ms.
+    assert retained >= 2.0, (breaker_rps, no_breaker_rps)
