@@ -78,7 +78,10 @@ def test_bench_zonk_wide_store(benchmark, width):
     solver.unify(DELTA, left, right)
 
     def work():
-        solver._clean.clear()  # force a full re-resolution
+        # Force a full re-resolution: drop both the per-entry clean set
+        # and the whole-node memo (else iterations 2+ measure a dict hit).
+        solver._clean.clear()
+        solver._zonk_memo.clear()
         return solver.zonk(left)
 
     zonked = benchmark(work)

@@ -9,6 +9,9 @@ MONO variable to a type full of POLY variables).
 
 from __future__ import annotations
 
+import sys
+from contextlib import contextmanager
+
 import pytest
 
 from repro.core.kinds import Kind, KindEnv
@@ -17,6 +20,16 @@ from repro.core.unify import unify
 from tests.helpers import fixed
 
 DELTA = fixed("r")
+
+
+@contextmanager
+def _recursion_limit(limit: int):
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
 
 
 def deep_arrow(depth: int, leaf):
@@ -71,6 +84,38 @@ def test_bench_quantifier_alternation(benchmark, depth):
 
     theta_out, subst = benchmark(lambda: unify(DELTA, theta, left, right))
     assert subst is not None
+
+
+@pytest.mark.parametrize("depth", (512,))
+@pytest.mark.benchmark(group="unify-pathological")
+def test_bench_pathological_towers(benchmark, depth):
+    """512-deep towers under ``sys.setrecursionlimit(256)``.
+
+    The old recursive hot loops blew the interpreter recursion limit on
+    these inputs (degrading to the FML912 backstop); the explicit
+    worklist loops solve them outright -- the tight limit inside the
+    timed region proves no solver path recurses with type depth.
+    """
+    theta = KindEnv([("%deep_l", Kind.MONO), ("%deep_r", Kind.MONO)])
+    left = TVar("%deep_l")
+    right = TVar("%deep_r")
+    for _ in range(depth):
+        left = arrow(TCon("Int"), left)
+        right = arrow(TCon("Int"), right)
+    quant_l = TCon("Int")
+    quant_r = TCon("Int")
+    for i in range(depth, 0, -1):
+        quant_l = TForall(f"a{i}", quant_l)
+        quant_r = TForall(f"b{i}", quant_r)
+
+    def work():
+        with _recursion_limit(256):
+            theta_out, subst = unify(DELTA, theta, left, right)
+            unify(DELTA, KindEnv.empty(), quant_l, quant_r)
+        return theta_out, subst
+
+    theta_out, subst = benchmark(work)
+    assert subst(TVar("%deep_l")) == subst(TVar("%deep_r"))
 
 
 @pytest.mark.parametrize("width", (8, 32, 128))

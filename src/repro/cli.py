@@ -90,15 +90,21 @@ the other shards keep serving.  SIGTERM drains clean: new ``POST
 /check`` gets 503, in-flight work completes up to ``--drain-timeout``
 seconds, the persistent cache flushes, and the process exits 0.
 
-    python -m repro bench [--quick] [--all] [--output=FILE]
-                          [--compare=OLD.json]
+    python -m repro bench [--quick] [--all] [--suite=A,B] [--group=GLOB]
+                          [--output=FILE] [--compare=OLD.json]
 
 runs the pytest-benchmark perf suites (solver, unification, scaling,
 environment scaling, service) and writes ``BENCH_solver.json`` -- the
 perf trajectory baseline that future PRs compare against.  ``--quick``
 runs each benchmark once with timing disabled (the CI smoke mode);
 ``--all`` includes every benchmark module, not just the perf-critical
-default set.  ``--compare=OLD.json`` additionally diffs the fresh run
+default set.  ``--suite=solver,unification`` restricts the run to the
+named ``benchmarks/bench_<name>.py`` modules (mutually exclusive with
+``--all``), and ``--group=GLOB[,GLOB]`` keeps only benchmarks whose
+pytest-benchmark group matches one of the fnmatch patterns (e.g.
+``--group='unify-*'``) -- together they let a solver-perf iteration
+loop skip the HTTP serve harness entirely.  ``--compare=OLD.json``
+additionally diffs the fresh run
 against a saved baseline and prints per-group speedups, flagging >10%
 regressions (``--compare=BENCH_solver.json`` regenerates the baseline
 in place and diffs against its previous contents).  The comparison is
@@ -747,6 +753,18 @@ def slo_violations(
     return sorted(violations)
 
 
+def bench_suite_name(name: str) -> str:
+    """Normalise a ``--suite=`` entry to its bare name: accepts
+    ``solver``, ``bench_solver``, ``bench_solver.py`` and
+    ``benchmarks/bench_solver.py`` alike."""
+    name = name.rsplit("/", 1)[-1]
+    if name.endswith(".py"):
+        name = name[:-3]
+    if name.startswith("bench_"):
+        name = name[len("bench_"):]
+    return name
+
+
 def build_bench_command(
     argv: list[str], python: str = sys.executable
 ) -> tuple[list[str], str]:
@@ -757,10 +775,15 @@ def build_bench_command(
     """
     quick = "--quick" in argv
     output = "BENCH_solver.json"
+    named: list[str] = []
     for arg in argv:
         if arg.startswith("--output="):
             output = arg.split("=", 1)[1]
-    if "--all" in argv:
+        elif arg.startswith("--suite="):
+            named.extend(n for n in arg.split("=", 1)[1].split(",") if n)
+    if named:
+        suites = [f"benchmarks/bench_{bench_suite_name(n)}.py" for n in named]
+    elif "--all" in argv:
         # bench_*.py does not match pytest's default test_*.py pattern;
         # explicit paths are always collected, a bare directory is not,
         # so widen the pattern for the whole-directory run.
@@ -781,20 +804,41 @@ def run_bench(argv: list[str]) -> int:
     import subprocess
     from pathlib import Path
 
+    usage = (
+        "usage: python -m repro bench [--quick] [--all] [--suite=A,B]"
+        " [--group=GLOB] [--output=FILE] [--compare=OLD.json]"
+    )
     unknown = [
         a
         for a in argv
         if a not in ("--quick", "--all")
         and not a.startswith("--output=")
         and not a.startswith("--compare=")
+        and not a.startswith("--suite=")
+        and not a.startswith("--group=")
     ]
     if unknown:
         print(f"error: unknown bench option(s): {' '.join(unknown)}")
-        print(
-            "usage: python -m repro bench [--quick] [--all] [--output=FILE]"
-            " [--compare=OLD.json]"
-        )
+        print(usage)
         return 2
+    if "--all" in argv and any(a.startswith("--suite=") for a in argv):
+        print("error: --all and --suite are mutually exclusive")
+        print(usage)
+        return 2
+    root_probe = Path(__file__).resolve().parents[2]
+    for a in argv:
+        if a.startswith("--suite="):
+            for name in a.split("=", 1)[1].split(","):
+                if not name:
+                    continue
+                path = root_probe / "benchmarks" / f"bench_{bench_suite_name(name)}.py"
+                if not path.is_file():
+                    print(f"error: unknown bench suite: {name} (no {path.name})")
+                    return 2
+    groups = ""
+    for a in argv:
+        if a.startswith("--group="):
+            groups = a.split("=", 1)[1]
     compare_path = None
     for a in argv:
         if a.startswith("--compare="):
@@ -836,6 +880,10 @@ def run_bench(argv: list[str]) -> int:
     env["PYTHONPATH"] = (
         f"{extra}{os.pathsep}{env['PYTHONPATH']}" if env.get("PYTHONPATH") else extra
     )
+    if groups:
+        # Consumed by benchmarks/conftest.py: deselects benchmarks whose
+        # pytest-benchmark group matches none of the fnmatch patterns.
+        env["REPRO_BENCH_GROUPS"] = groups
     code = subprocess.call(cmd, cwd=root, env=env)
     if code == 0 and output:
         # The subprocess runs from the repo root; print where the file

@@ -166,6 +166,7 @@ class SolverState:
         "rigid_levels",
         "level",
         "_clean",
+        "_zonk_memo",
         "fuel",
         "fuel_limit",
         "max_depth",
@@ -204,6 +205,11 @@ class SolverState:
         # Names whose store entry is fully zonked w.r.t. the current
         # store; invalidated wholesale on every new binding.
         self._clean: set[str] = set()
+        # Global zonk memo: input node -> fully zonked form, valid until
+        # the next binding.  With interned nodes the same environment
+        # type is the same object everywhere, so repeated zonks of a hot
+        # environment are one dict hit after the first.
+        self._zonk_memo: dict[Type, Type] = {}
 
     # -- deterministic work budget -------------------------------------------
 
@@ -396,6 +402,7 @@ class SolverState:
         self.trail.append(name)
         self._clean.clear()
         self._clean.add(name)
+        self._zonk_memo.clear()
 
     def prune(self, ty: Type) -> Type:
         """Chase bindings at the head of ``ty``, with path compression.
@@ -429,101 +436,198 @@ class SolverState:
         but the store is a plain dict and defensive callers -- and the
         tests -- can create cycles directly).  Fully-resolved store
         entries are written back into the store, so repeated zonks are
-        amortised O(1) per solved variable between bindings.
+        amortised O(1) per solved variable between bindings -- and a
+        whole-node memo (``_zonk_memo``, invalidated with ``_clean``)
+        makes a *repeated* zonk of the same interned node one dict hit.
+
+        Iterative (explicit work stack): zonking never consumes Python
+        stack proportional to type depth, so pathological towers are
+        bounded by fuel/``max_depth`` only, never ``RecursionError``.
         """
         store = self.store
         if not store:
             return ty
-        active: set[str] = set()
         clean = self._clean
-
-        def resolve(name: str) -> Type:
-            # The fully zonked image of the solved variable ``name``.
+        if isinstance(ty, TVar):
+            name = ty.name
+            if name not in store:
+                return ty
             if name in clean:
                 return store[name]
-            # One fuel step per store entry materialised (memoisation
-            # keeps repeated zonks amortised O(1), so this charges the
-            # real work, not the traversal).
-            if self.fuel is not None:
-                self.spend()
-            if name in active:
-                raise OccursCheckError(name, store[name])
-            active.add(name)
-            try:
-                image = walk(store[name], _EMPTY_SET, None)
-            finally:
-                active.discard(name)
-            store[name] = image
-            clean.add(name)
-            return image
+        else:
+            free = ty._ftv
+            if free is not None and store.keys().isdisjoint(free):
+                return ty
+        memo = self._zonk_memo
+        hit = memo.get(ty)
+        if hit is not None:
+            return hit
+        result = self._zonk_walk(ty)
+        memo[ty] = result
+        return result
 
-        def walk(t: Type, bound: frozenset[str], extra: dict | None) -> Type:
-            if isinstance(t, TVar):
-                name = t.name
-                if name in bound:
-                    return t
-                if extra is not None and name in extra:
-                    return extra[name]
-                if name in store:
-                    return resolve(name)
-                return t
-            # Peek (never compute) the free-variable cache: when present
-            # and disjoint from the store, the subtree is already solved.
-            # (Direct attribute access: this is ftv_peek's TCon/TForall
-            # case inlined into the hottest loop; see its docstring for
-            # the peek-only invariant.)
-            free = t._ftv
-            # keys().isdisjoint iterates the (small) cached free set
-            # rather than the whole store/overlay.
-            if (
-                free is not None
-                and store.keys().isdisjoint(free)
-                and not (extra and not extra.keys().isdisjoint(free))
-            ):
-                return t
-            if isinstance(t, TCon):
-                new_args = []
+    def _zonk_walk(self, ty: Type) -> Type:
+        store = self.store
+        clean = self._clean
+        active: set[str] = set()
+        # Work stack of frames; completed subtree results accumulate on
+        # ``vals`` in left-to-right order and are consumed by the
+        # combine frames ("con"/"fa") and the store write-backs.
+        vals: list[Type] = []
+        frames: list[tuple] = [("t", ty, _EMPTY_SET, None)]
+        while frames:
+            frame = frames.pop()
+            op = frame[0]
+            if op == "t":
+                _, t, bound, extra = frame
+                if isinstance(t, TVar):
+                    name = t.name
+                    if name in bound:
+                        vals.append(t)
+                    elif extra is not None and name in extra:
+                        vals.append(extra[name])
+                    elif name in store:
+                        # The fully zonked image of the solved variable:
+                        # resolve it in an empty context and leave the
+                        # image on ``vals`` as this occurrence's value.
+                        if name in clean:
+                            vals.append(store[name])
+                            continue
+                        # One fuel step per store entry materialised
+                        # (memoisation keeps repeated zonks amortised
+                        # O(1), so this charges the real work, not the
+                        # traversal).
+                        if self.fuel is not None:
+                            self.spend()
+                        if name in active:
+                            raise OccursCheckError(name, store[name])
+                        active.add(name)
+                        frames.append(("res", name))
+                        frames.append(("t", store[name], _EMPTY_SET, None))
+                    else:
+                        vals.append(t)
+                    continue
+                # Peek (never compute) the free-variable cache: when
+                # present and disjoint from the store, the subtree is
+                # already solved.  (Direct attribute access: this is
+                # ftv_peek's TCon/TForall case inlined into the hottest
+                # loop; see its docstring for the peek-only invariant.)
+                free = t._ftv
+                # keys().isdisjoint iterates the (small) cached free set
+                # rather than the whole store/overlay.
+                if (
+                    free is not None
+                    and store.keys().isdisjoint(free)
+                    and not (extra and not extra.keys().isdisjoint(free))
+                ):
+                    vals.append(t)
+                    continue
+                if isinstance(t, TCon):
+                    frames.append(("con", t))
+                    for a in reversed(t.args):
+                        frames.append(("t", a, bound, extra))
+                    continue
+                if isinstance(t, TForall):
+                    var = t.var
+                    # Capture check: would an image smuggle a free
+                    # occurrence of the binder under it?  (Rare; mirrors
+                    # Subst._apply.)  The scan needs resolved store
+                    # entries: collect the unresolved ones, resolve them
+                    # first ("ens" frames), then revisit this node.
+                    body_free = ftv_set(t.body)
+                    pending: list[str] = []
+                    image_vars: set[str] = set()
+                    for n in body_free:
+                        if n == var or n in bound:
+                            continue
+                        if extra is not None and n in extra:
+                            image_vars.update(ftv_set(extra[n]))
+                        elif n in store:
+                            if n in clean:
+                                image_vars.update(ftv_set(store[n]))
+                            else:
+                                pending.append(n)
+                    if pending:
+                        frames.append(frame)
+                        for n in reversed(pending):
+                            frames.append(("ens", n))
+                        continue
+                    if var in image_vars:
+                        avoid = image_vars | set(store) | body_free
+                        fresh = _fresh_binder(var, avoid)
+                        new_extra = dict(extra) if extra else {}
+                        new_extra[var] = TVar(fresh)
+                        frames.append(("fa", t, fresh))
+                        frames.append(("t", t.body, bound, new_extra))
+                        continue
+                    # Extend the bound set only when the binder shadows
+                    # a store/overlay key (it almost never does --
+                    # binders are either user names or retired
+                    # flexibles): the per-binder frozenset union would
+                    # make quantifier towers quadratic.
+                    if var in store or (extra is not None and var in extra):
+                        inner_bound = bound | {var}
+                    else:
+                        inner_bound = bound
+                    frames.append(("fa", t, var))
+                    frames.append(("t", t.body, inner_bound, extra))
+                    continue
+                raise TypeError(f"not a type: {t!r}")
+            if op == "con":
+                t = frame[1]
+                n = len(t.args)
+                if n:
+                    new_args = vals[-n:]
+                    del vals[-n:]
+                else:
+                    new_args = []
                 changed = False
-                for a in t.args:
-                    w = walk(a, bound, extra)
+                for a, w in zip(t.args, new_args):
                     if w is not a:
                         changed = True
-                    new_args.append(w)
-                if not changed:
-                    return t
-                return TCon(t.con, tuple(new_args))
-            if isinstance(t, TForall):
-                var = t.var
-                # Capture check: would an image smuggle a free occurrence
-                # of the binder under it?  (Rare; mirrors Subst._apply.)
-                image_vars: set[str] = set()
-                for n in ftv_set(t.body):
-                    if n == var or n in bound:
-                        continue
-                    if extra is not None and n in extra:
-                        image_vars.update(ftv_set(extra[n]))
-                    elif n in store:
-                        image_vars.update(ftv_set(resolve(n)))
-                if var in image_vars:
-                    avoid = image_vars | set(store) | ftv_set(t.body)
-                    fresh = _fresh_binder(var, avoid)
-                    new_extra = dict(extra) if extra else {}
-                    new_extra[var] = TVar(fresh)
-                    return TForall(fresh, walk(t.body, bound, new_extra))
-                # Extend the bound set only when the binder shadows a
-                # store/overlay key (it almost never does -- binders are
-                # either user names or retired flexibles): the per-binder
-                # frozenset union would make quantifier towers quadratic.
-                if var in store or (extra is not None and var in extra):
-                    new_body = walk(t.body, bound | {var}, extra)
+                        break
+                vals.append(TCon(t.con, tuple(new_args)) if changed else t)
+                continue
+            if op == "fa":
+                _, t, var = frame
+                new_body = vals.pop()
+                if new_body is t.body and var == t.var:
+                    vals.append(t)
                 else:
-                    new_body = walk(t.body, bound, extra)
-                if new_body is t.body:
-                    return t
-                return TForall(var, new_body)
-            raise TypeError(f"not a type: {t!r}")
-
-        return walk(ty, _EMPTY_SET, None)
+                    vals.append(TForall(var, new_body))
+                continue
+            if op == "res":
+                # A store entry finished resolving: write it back, leave
+                # the image on ``vals`` as the triggering occurrence's
+                # value.
+                name = frame[1]
+                image = vals[-1]
+                store[name] = image
+                clean.add(name)
+                active.discard(name)
+                continue
+            if op == "ens":
+                # Resolve a store entry for a capture pre-scan (side
+                # effect only -- the image is dropped from ``vals`` by
+                # the matching "ensd" frame).
+                name = frame[1]
+                if name in clean:
+                    continue
+                if self.fuel is not None:
+                    self.spend()
+                if name in active:
+                    raise OccursCheckError(name, store[name])
+                active.add(name)
+                frames.append(("ensd", name))
+                frames.append(("t", store[name], _EMPTY_SET, None))
+                continue
+            # op == "ensd"
+            name = frame[1]
+            image = vals.pop()
+            store[name] = image
+            clean.add(name)
+            active.discard(name)
+        return vals[-1]
 
     def as_subst(self) -> Subst:
         """The classic eager substitution ``theta``, synthesised lazily.
@@ -575,83 +679,156 @@ class SolverState:
         rmap: "dict[str, str] | None",
         depth: int = 0,
     ) -> None:
-        if self.fuel is not None:
-            self.spend()
+        # Iterative (explicit work stack): unification depth is bounded
+        # by fuel/``max_depth`` only, never Python's recursion limit.
+        # Item kinds:
+        #   ("u", left, right, depth)  -- unify one pair (spends fuel);
+        #   ("done", key, left, right) -- record the memo entry once the
+        #       pair's whole subtree unified (post-order, pins the nodes
+        #       so a recycled id() can never produce a false hit);
+        #   ("close", skolem, l_var, l_prev, r_var, r_prev) -- pop one
+        #       quantifier scope (Case 5's ``finally`` as a frame).
+        stack: list[tuple] = [("u", left, right, depth)]
         max_depth = self.max_depth
-        if max_depth is not None and depth >= max_depth:
-            raise DepthExceededError(max_depth)
-        # Bound binder occurrences translate to their shared skolem at
-        # the variable head (``lmap``/``rmap`` are pushed by Case 5).
-        # The maps shadow everything -- store entries and flexible
-        # declarations may reuse a binder's name -- so translate before
-        # pruning.
-        if lmap:
-            if isinstance(left, TVar):
-                sk = lmap.get(left.name)
-                if sk is not None:
-                    left = tvar_unchecked(sk)
-            if isinstance(right, TVar):
-                sk = rmap.get(right.name)
-                if sk is not None:
-                    right = tvar_unchecked(sk)
-        left = self.prune(left)
-        right = self.prune(right)
-        if left is right:
-            return
+        try:
+            while stack:
+                item = stack.pop()
+                op = item[0]
+                if op == "close":
+                    _, skolem, l_var, l_prev, r_var, r_prev = item
+                    if l_prev is _MISSING:
+                        del lmap[l_var]
+                    else:
+                        lmap[l_var] = l_prev
+                    if r_prev is _MISSING:
+                        del rmap[r_var]
+                    else:
+                        rmap[r_var] = r_prev
+                    # Retire the skolem's stamp: nothing mentioning it
+                    # can have been stored (that would have been an
+                    # escape), so the entry is dead once its scope
+                    # closes -- and an empty table keeps later binds on
+                    # the fast path.
+                    del self.rigid_levels[skolem]
+                    self.level -= 1
+                    continue
+                if op == "done":
+                    done[item[1]] = (item[2], item[3])
+                    continue
+                _, left, right, depth = item
+                if self.fuel is not None:
+                    self.spend()
+                if max_depth is not None and depth >= max_depth:
+                    raise DepthExceededError(max_depth)
+                # Bound binder occurrences translate to their shared
+                # skolem at the variable head (``lmap``/``rmap`` are
+                # pushed by Case 5).  The maps shadow everything --
+                # store entries and flexible declarations may reuse a
+                # binder's name -- so translate before pruning.
+                if lmap:
+                    if isinstance(left, TVar):
+                        sk = lmap.get(left.name)
+                        if sk is not None:
+                            left = tvar_unchecked(sk)
+                    if isinstance(right, TVar):
+                        sk = rmap.get(right.name)
+                        if sk is not None:
+                            right = tvar_unchecked(sk)
+                left = self.prune(left)
+                right = self.prune(right)
+                if left is right:
+                    # With interned nodes identity is structural
+                    # equality, so the short-circuit fires for *any*
+                    # shared closed subtree -- but under asymmetric
+                    # binder maps the same node can mean different
+                    # things on the two sides (``forall a b. ...`` vs
+                    # ``forall b a. ...`` share an interned body).  Take
+                    # it only when no maps are live, when the node is a
+                    # variable head (its translation already happened
+                    # above), or when every cached free variable
+                    # translates identically on both sides (peek only:
+                    # an uncached set falls through to the structural
+                    # walk).
+                    if not lmap or isinstance(left, TVar):
+                        continue
+                    free = left._ftv
+                    if free is not None and all(
+                        lmap.get(v) == rmap.get(v) for v in free
+                    ):
+                        continue
 
-        # Case 1: identical variables (rigid or flexible).
-        if isinstance(left, TVar) and isinstance(right, TVar) and left.name == right.name:
-            return
+                # Case 1: identical variables (rigid or flexible).
+                if (
+                    isinstance(left, TVar)
+                    and isinstance(right, TVar)
+                    and left.name == right.name
+                ):
+                    continue
 
-        # Cases 2/3: an unsolved flexible variable against a type.
-        if isinstance(left, TVar) and left.name in self.kinds:
-            self._bind(delta, left.name, right, rmap)
-            return
-        if isinstance(right, TVar) and right.name in self.kinds:
-            self._bind(delta, right.name, left, lmap)
-            return
+                # Cases 2/3: an unsolved flexible variable against a type.
+                if isinstance(left, TVar) and left.name in self.kinds:
+                    self._bind(delta, left.name, right, rmap)
+                    continue
+                if isinstance(right, TVar) and right.name in self.kinds:
+                    self._bind(delta, right.name, left, lmap)
+                    continue
 
-        # Case 4: matching constructors, pointwise.
-        if isinstance(left, TCon) and isinstance(right, TCon):
-            if left.con != right.con or len(left.args) != len(right.args):
-                raise UnificationError(left, right, "constructor clash")
-            if lmap:
-                # Under binder maps the memo is unsound: a shared node
-                # pair can unify differently in different binder scopes.
-                for l_arg, r_arg in zip(left.args, right.args):
-                    self._unify(delta, l_arg, r_arg, supply, done, lmap, rmap, depth + 1)
-                return
-            key = (id(left), id(right))
-            if key in done:
-                return
-            for l_arg, r_arg in zip(left.args, right.args):
-                self._unify(delta, l_arg, r_arg, supply, done, lmap, rmap, depth + 1)
-            done[key] = (left, right)
-            return
+                # Case 4: matching constructors, pointwise.
+                if isinstance(left, TCon) and isinstance(right, TCon):
+                    if left.con != right.con or len(left.args) != len(right.args):
+                        raise UnificationError(left, right, "constructor clash")
+                    child_depth = depth + 1
+                    if lmap:
+                        # Under binder maps the memo is unsound: a
+                        # shared node pair can unify differently in
+                        # different binder scopes.
+                        for pair in zip(reversed(left.args), reversed(right.args)):
+                            stack.append(("u", pair[0], pair[1], child_depth))
+                        continue
+                    key = (id(left), id(right))
+                    if key in done:
+                        continue
+                    stack.append(("done", key, left, right))
+                    for pair in zip(reversed(left.args), reversed(right.args)):
+                        stack.append(("u", pair[0], pair[1], child_depth))
+                    continue
 
-        # Case 5: quantified types, via a shared fresh skolem -- a
-        # level-stamped constant.  The bodies are NOT rewritten; the
-        # binder maps carry binder -> skolem and bound occurrences are
-        # translated lazily above, so a quantifier costs O(1) instead of
-        # O(body).  Escape checking is the level comparison in
-        # :meth:`_adjust_levels`: the skolem lives deeper than every
-        # flexible variable in scope, so any binding whose image reaches
-        # it fails at bind time (Figure 15's ``c not in ftv(theta)``).
-        if isinstance(left, TForall) and isinstance(right, TForall):
-            skolem = supply.fresh_skolem()
-            self.level += 1
-            self.rigid_levels[skolem] = self.level
-            if lmap is None:
-                lmap = {}
-                rmap = {}
-            l_var, r_var = left.var, right.var
-            l_prev = lmap.get(l_var, _MISSING)
-            r_prev = rmap.get(r_var, _MISSING)
-            lmap[l_var] = skolem
-            rmap[r_var] = skolem
-            try:
-                self._unify(delta, left.body, right.body, supply, done, lmap, rmap, depth + 1)
-            finally:
+                # Case 5: quantified types, via a shared fresh skolem --
+                # a level-stamped constant.  The bodies are NOT
+                # rewritten; the binder maps carry binder -> skolem and
+                # bound occurrences are translated lazily above, so a
+                # quantifier costs O(1) instead of O(body).  Escape
+                # checking is the level comparison in
+                # :meth:`_adjust_levels`: the skolem lives deeper than
+                # every flexible variable in scope, so any binding whose
+                # image reaches it fails at bind time (Figure 15's
+                # ``c not in ftv(theta)``).
+                if isinstance(left, TForall) and isinstance(right, TForall):
+                    skolem = supply.fresh_skolem()
+                    self.level += 1
+                    self.rigid_levels[skolem] = self.level
+                    if lmap is None:
+                        lmap = {}
+                        rmap = {}
+                    l_var, r_var = left.var, right.var
+                    l_prev = lmap.get(l_var, _MISSING)
+                    r_prev = rmap.get(r_var, _MISSING)
+                    lmap[l_var] = skolem
+                    rmap[r_var] = skolem
+                    stack.append(("close", skolem, l_var, l_prev, r_var, r_prev))
+                    stack.append(("u", left.body, right.body, depth + 1))
+                    continue
+
+                raise UnificationError(left, right)
+        except BaseException:
+            # Unwind the quantifier scopes still open on the work stack
+            # (the recursive formulation's ``finally`` blocks), so the
+            # solver's level/rigid bookkeeping survives a failed unify.
+            while stack:
+                item = stack.pop()
+                if item[0] != "close":
+                    continue
+                _, skolem, l_var, l_prev, r_var, r_prev = item
                 if l_prev is _MISSING:
                     del lmap[l_var]
                 else:
@@ -660,15 +837,9 @@ class SolverState:
                     del rmap[r_var]
                 else:
                     rmap[r_var] = r_prev
-                # Retire the skolem's stamp: nothing mentioning it can
-                # have been stored (that would have been an escape), so
-                # the entry is dead once its scope closes -- and an
-                # empty table keeps later binds on the fast path.
                 del self.rigid_levels[skolem]
                 self.level -= 1
-            return
-
-        raise UnificationError(left, right)
+            raise
 
     def _bind(
         self,
@@ -738,13 +909,13 @@ class SolverState:
         """
         kinds = self.kinds
         mono = True
-
-        def walk(t: Type, bound: frozenset[str]) -> None:
-            nonlocal mono
+        stack: list[tuple[Type, frozenset[str]]] = [(ty, _EMPTY_SET)]
+        while stack:
+            t, bound = stack.pop()
             if isinstance(t, TVar):
                 n = t.name
                 if n in bound or n in kinds or n in delta:
-                    return
+                    continue
                 raise KindError(f"unbound type variable: {n}")
             if isinstance(t, TCon):
                 arity = constructor_arity(t.con)
@@ -755,16 +926,14 @@ class SolverState:
                         f"constructor {t.con} expects {arity} arguments, "
                         f"got {len(t.args)}"
                     )
-                for arg in t.args:
-                    walk(arg, bound)
-                return
+                for arg in reversed(t.args):
+                    stack.append((arg, bound))
+                continue
             if isinstance(t, TForall):
                 mono = False
-                walk(t.body, bound | {t.var})
-                return
+                stack.append((t.body, bound | {t.var}))
+                continue
             raise TypeError(f"not a type: {t!r}")
-
-        walk(ty, _EMPTY_SET)
         return mono
 
 

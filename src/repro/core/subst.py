@@ -47,10 +47,16 @@ class Subst:
     Immutable.  Variables outside the domain are mapped to themselves.
     """
 
-    __slots__ = ("_map",)
+    __slots__ = ("_map", "_cache")
 
     def __init__(self, mapping: Mapping[str, Type] | Iterable[tuple[str, Type]] = ()):
         self._map: dict[str, Type] = dict(mapping)
+        # Per-instance application memo (input node -> result), created
+        # lazily on the first non-trivial apply.  Sound because Subst is
+        # immutable and type nodes are interned: the same node is the
+        # same type everywhere, so re-applying a substitution to a hot
+        # environment type is one dict hit after the first.
+        self._cache: dict[Type, Type] | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -129,9 +135,25 @@ class Subst:
 
     def apply(self, ty: Type) -> Type:
         """Capture-avoidingly apply the substitution to a type."""
-        if not self._map:
+        mapping = self._map
+        if not mapping:
             return ty
-        return self._apply(ty, self._map, None)
+        if isinstance(ty, TVar):
+            return mapping.get(ty.name, ty)
+        # Peek (never compute) the node's free-variable cache: a domain
+        # disjoint from the free variables means identity -- no image is
+        # ever inserted, so no capture either.
+        free = ty._ftv
+        if free is not None and mapping.keys().isdisjoint(free):
+            return ty
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = {}
+        hit = cache.get(ty)
+        if hit is None:
+            hit = self._apply(ty, mapping, None)
+            cache[ty] = hit
+        return hit
 
     def _apply(
         self,
@@ -141,57 +163,103 @@ class Subst:
     ) -> Type:
         """``range_free`` is the union of the images' free variables,
         computed lazily at the first quantifier and threaded down while
-        ``mapping`` is unchanged (``None`` = not computed yet)."""
-        if isinstance(ty, TVar):
-            return mapping.get(ty.name, ty)
-        if isinstance(ty, TCon):
-            # Reuse the node when no child changes: substitution leaves
-            # most subtrees alone, and reallocation would also discard
-            # their memoised free-variable sets.
-            new_args = tuple(self._apply(a, mapping, range_free) for a in ty.args)
-            if all(new is old for new, old in zip(new_args, ty.args)):
-                return ty
-            return TCon(ty.con, new_args)
-        if isinstance(ty, TForall):
-            var = ty.var
-            if range_free is None:
-                range_free = frozenset().union(
-                    *(ftv_set(v) for v in mapping.values())
-                )
-            if var not in mapping:
-                # Common case: the binder neither shadows a mapping entry
-                # nor appears in any image -- no domain-restriction dict
-                # copy, no per-binding capture scan, recurse as-is.
-                if var not in range_free:
-                    new_body = self._apply(ty.body, mapping, range_free)
-                    if new_body is ty.body:
-                        return ty
-                    return TForall(var, new_body)
-                inner = mapping
-                inner_range = range_free
-            else:
-                inner = {k: v for k, v in mapping.items() if k != var}
-                if not inner:
-                    return ty
-                inner_range = None  # restricted map: recompute lazily
-            # Capture check: does the binder collide with an image var of
-            # a binding actually reachable from the body?
-            image_vars: set[str] = set()
-            for name in ftv_set(ty.body):
-                if name == var:
+        ``mapping`` is unchanged (``None`` = not computed yet).
+
+        Iterative (explicit work stack): application never consumes
+        Python stack proportional to type depth.
+        """
+        vals: list[Type] = []
+        frames: list[tuple] = [("t", ty, mapping, range_free)]
+        while frames:
+            frame = frames.pop()
+            op = frame[0]
+            if op == "t":
+                _, t, mapping, range_free = frame
+                if isinstance(t, TVar):
+                    vals.append(mapping.get(t.name, t))
                     continue
-                bound_ty = inner.get(name)
-                if bound_ty is not None:
-                    image_vars.update(ftv_set(bound_ty))
-            if var in image_vars:
-                fresh = _fresh_binder(var, image_vars | set(inner) | ftv_set(ty.body))
-                body = self._apply(ty.body, {**inner, var: TVar(fresh)}, None)
-                return TForall(fresh, body)
-            new_body = self._apply(ty.body, inner, inner_range)
-            if new_body is ty.body:
-                return ty
-            return TForall(var, new_body)
-        raise TypeError(f"not a type: {ty!r}")
+                free = t._ftv
+                if free is not None and mapping.keys().isdisjoint(free):
+                    # Identity on this subtree (see ``apply``).
+                    vals.append(t)
+                    continue
+                if isinstance(t, TCon):
+                    # Reuse the node when no child changes: substitution
+                    # leaves most subtrees alone, and reallocation would
+                    # also discard their memoised free-variable sets.
+                    frames.append(("con", t))
+                    for a in reversed(t.args):
+                        frames.append(("t", a, mapping, range_free))
+                    continue
+                if isinstance(t, TForall):
+                    var = t.var
+                    if range_free is None:
+                        range_free = frozenset().union(
+                            *(ftv_set(v) for v in mapping.values())
+                        )
+                    if var not in mapping:
+                        # Common case: the binder neither shadows a
+                        # mapping entry nor appears in any image -- no
+                        # domain-restriction dict copy, no per-binding
+                        # capture scan, descend as-is.
+                        if var not in range_free:
+                            frames.append(("fa", t, var))
+                            frames.append(("t", t.body, mapping, range_free))
+                            continue
+                        inner = mapping
+                        inner_range = range_free
+                    else:
+                        inner = {k: v for k, v in mapping.items() if k != var}
+                        if not inner:
+                            vals.append(t)
+                            continue
+                        inner_range = None  # restricted map: recompute lazily
+                    # Capture check: does the binder collide with an
+                    # image var of a binding actually reachable from the
+                    # body?
+                    image_vars: set[str] = set()
+                    for name in ftv_set(t.body):
+                        if name == var:
+                            continue
+                        bound_ty = inner.get(name)
+                        if bound_ty is not None:
+                            image_vars.update(ftv_set(bound_ty))
+                    if var in image_vars:
+                        fresh = _fresh_binder(
+                            var, image_vars | set(inner) | ftv_set(t.body)
+                        )
+                        frames.append(("fa", t, fresh))
+                        frames.append(
+                            ("t", t.body, {**inner, var: TVar(fresh)}, None)
+                        )
+                        continue
+                    frames.append(("fa", t, var))
+                    frames.append(("t", t.body, inner, inner_range))
+                    continue
+                raise TypeError(f"not a type: {t!r}")
+            if op == "con":
+                t = frame[1]
+                n = len(t.args)
+                if n:
+                    new_args = vals[-n:]
+                    del vals[-n:]
+                else:
+                    new_args = []
+                changed = False
+                for a, w in zip(t.args, new_args):
+                    if w is not a:
+                        changed = True
+                        break
+                vals.append(TCon(t.con, tuple(new_args)) if changed else t)
+                continue
+            # op == "fa"
+            _, t, var = frame
+            new_body = vals.pop()
+            if new_body is t.body and var == t.var:
+                vals.append(t)
+            else:
+                vals.append(TForall(var, new_body))
+        return vals[-1]
 
     def __call__(self, ty: Type) -> Type:
         return self.apply(ty)

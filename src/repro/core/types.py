@@ -16,11 +16,49 @@ Types are immutable and hashable.  Equality (``==``) is *syntactic* --
 use :func:`alpha_equal` for equality up to renaming of bound variables,
 which is the notion of type identity the paper uses ("we identify
 alpha-equivalent types").
+
+Hash-consing
+------------
+
+All three constructors intern their nodes through per-process weak
+tables, so structurally equal types are *pointer-identical*: building
+``TCon("Int")`` twice yields the same object, and ``t1 == t2`` is
+decided by the ``t1 is t2`` fast path whenever both sides were built
+with interning on.  The consequences the solver relies on:
+
+* equality and hashing are O(1) on interned nodes (``_hash`` is cached
+  at construction, ``__eq__`` fast-paths on identity);
+* the memoised free-variable caches (``_ftv``) are shared by *every*
+  owner of a node -- one ``ftv_set`` call warms the cache for the whole
+  process, not one copy of the type;
+* identity short-circuits become sound structural-equality checks in
+  the solver's hot loops (``_unify``'s ``a is b``, zonk's node reuse,
+  ``Subst.apply``'s per-instance memo).
+
+The tables hold their nodes *weakly* (a dead type's entry disappears
+with it), so interning never pins unbounded memory across solver runs;
+see :func:`intern_stats`.  A small strong FIFO ring
+(``REPRO_INTERN_RECENT`` entries, default 16384) keeps *recently built*
+nodes alive through the gap between solver runs: inference draws its
+fresh names from a per-run supply, so consecutive runs over the same
+program rebuild the same keys, and without the ring every generation
+would die with its run and be re-allocated from scratch -- with it,
+re-construction is a table hit.  :func:`intern_cache_clear` drops the
+ring (memory-pressure hooks, leak tests).
+
+Setting ``REPRO_NO_INTERN=1`` in the environment disables interning at
+import time -- every constructor then allocates a fresh node and
+``__eq__`` falls back to the structural walk.  Verdicts are
+byte-identical either way (CI diffs the two modes); the escape hatch
+exists for differential testing and for ruling interning out when
+debugging.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+import weakref
+from collections import deque
 from typing import Iterable, Iterator
 
 # ---------------------------------------------------------------------------
@@ -60,13 +98,164 @@ def constructor_arity(name: str) -> int | None:
 
 
 # ---------------------------------------------------------------------------
+# The intern (hash-cons) tables
+# ---------------------------------------------------------------------------
+
+#: Interning is on unless the escape hatch is set.  Read once at import:
+#: flipping it mid-process would leave mixed node populations behind.
+INTERNING: bool = os.environ.get("REPRO_NO_INTERN", "") in ("", "0")
+
+
+class _Ref(weakref.ref):
+    """A weak reference that remembers its table key."""
+
+    __slots__ = ("key",)
+
+
+def _make_remover(table: dict):
+    """A GC callback that drops a dead entry -- identity-checked, so a
+    fresh node interned under the same key between the referent's death
+    and the callback firing is never evicted."""
+
+    def remove(wr: _Ref, table: dict = table) -> None:
+        if table.get(wr.key) is wr:
+            del table[wr.key]
+
+    return remove
+
+
+_TVAR_TABLE: dict = {}
+_TCON_TABLE: dict = {}
+_TFORALL_TABLE: dict = {}
+_tvar_remove = _make_remover(_TVAR_TABLE)
+_tcon_remove = _make_remover(_TCON_TABLE)
+_tforall_remove = _make_remover(_TFORALL_TABLE)
+
+
+def _recent_ring() -> "deque | None":
+    """The strong FIFO ring pinning recently interned nodes.
+
+    Fresh names come from per-run supplies, so back-to-back runs over
+    the same input rebuild identical keys; the ring keeps the previous
+    generation alive just long enough for those rebuilds to hit the
+    weak tables instead of re-allocating.  Bounded (FIFO eviction), so
+    worst-case pinned memory is a few MB, not proportional to workload.
+    """
+    if not INTERNING:
+        return None
+    raw = os.environ.get("REPRO_INTERN_RECENT", "16384")
+    try:
+        cap = int(raw)
+    except ValueError:
+        cap = 16384
+    return deque(maxlen=cap) if cap > 0 else None
+
+
+_RECENT = _recent_ring()
+
+
+def intern_cache_clear() -> None:
+    """Release the strong references pinning recently interned nodes.
+
+    The weak tables themselves are untouched -- entries whose nodes are
+    still referenced elsewhere survive; the rest disappear with the next
+    garbage collection.  Memory-pressure hooks and leak tests call this
+    to make table sizes reflect *live* types only.
+    """
+    if _RECENT is not None:
+        _RECENT.clear()
+
+
+def intern_stats() -> dict[str, int]:
+    """Live entry counts of the three intern tables (observability).
+
+    Counts include entries whose referent died but whose GC callback has
+    not fired yet, so treat the numbers as an upper bound.  ``recent``
+    is the current occupancy of the strong recency ring.
+    """
+    return {
+        "tvar": len(_TVAR_TABLE),
+        "tcon": len(_TCON_TABLE),
+        "tforall": len(_TFORALL_TABLE),
+        "recent": len(_RECENT) if _RECENT is not None else 0,
+        "interning": int(INTERNING),
+    }
+
+
+_SETATTR = object.__setattr__
+
+# Hash salts keep the three node kinds from colliding with each other
+# (and TVar from colliding with its bare name string).
+_H_TVAR = 0x51ED2701
+_H_TCON = 0x2C9F1B35
+_H_TFORALL = 0x6A09E667
+
+
+# ---------------------------------------------------------------------------
 # The type AST
 # ---------------------------------------------------------------------------
 
 
 class Type:
-    """Abstract base class of FreezeML/System F types."""
+    """Abstract base class of FreezeML/System F types.
 
+    Instances are immutable (attribute assignment raises) and interned:
+    with interning on, structural equality coincides with ``is``.  The
+    structural ``__eq__``/``__hash__`` below remain correct with
+    interning off (the ``REPRO_NO_INTERN`` escape hatch) -- the walk is
+    iterative, so comparing deep towers never risks interpreter
+    recursion.
+    """
+
+    __slots__ = ("__weakref__", "_hash")
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Type):
+            return NotImplemented
+        # Iterative structural comparison.  With interning on, equal
+        # subtrees are identical objects, so the tuple comparison below
+        # short-circuits per element and the stack never grows; the walk
+        # only matters for nodes built with interning off.
+        stack = [(self, other)]
+        pop = stack.pop
+        while stack:
+            a, b = pop()
+            if a is b:
+                continue
+            cls = type(a)
+            if cls is not type(b) or a._hash != b._hash:
+                return False
+            if cls is TVar:
+                if a.name != b.name:
+                    return False
+            elif cls is TCon:
+                if a.con != b.con or len(a.args) != len(b.args):
+                    return False
+                stack.extend(zip(a.args, b.args))
+            else:  # TForall
+                if a.var != b.var:
+                    return False
+                stack.append((a.body, b.body))
+        return True
+
+    # Types are immutable: copying is the identity (and must be, or it
+    # would silently un-share interned nodes).
+    def __copy__(self) -> "Type":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Type":
+        return self
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return format_type(self)
@@ -75,44 +264,106 @@ class Type:
         return f"<{format_type(self)}>"
 
 
-@dataclass(frozen=True, repr=False, slots=True)
 class TVar(Type):
     """A type variable (rigid or flexible, depending on context)."""
 
-    name: str
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "TVar":
+        if INTERNING:
+            wr = _TVAR_TABLE.get(name)
+            if wr is not None:
+                t = wr()
+                if t is not None:
+                    return t
+        t = object.__new__(cls)
+        _SETATTR(t, "name", name)
+        _SETATTR(t, "_hash", hash(name) ^ _H_TVAR)
+        if INTERNING:
+            ref = _Ref(t, _tvar_remove)
+            ref.key = name
+            _TVAR_TABLE[name] = ref
+            if _RECENT is not None:
+                _RECENT.append(t)
+        return t
+
+    def __reduce__(self):
+        return (TVar, (self.name,))
 
 
-@dataclass(frozen=True, repr=False, slots=True)
 class TCon(Type):
     """A fully applied type constructor ``D A1 ... An``."""
 
-    con: str
-    args: tuple[Type, ...] = ()
-    # Free-variable cache, filled on first ftv_set() call.  Excluded from
-    # equality/hash: two structurally equal nodes may differ in whether
-    # the cache has been populated yet.
-    _ftv: "frozenset[str] | None" = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    __slots__ = ("con", "args", "_ftv")
 
-    def __post_init__(self):
-        arity = _ARITIES.get(self.con)
-        if arity is not None and arity != len(self.args):
+    def __new__(cls, con: str, args: "tuple[Type, ...]" = ()) -> "TCon":
+        if type(args) is not tuple:
+            args = tuple(args)
+        arity = _ARITIES.get(con)
+        if arity is not None and arity != len(args):
             raise ValueError(
-                f"constructor {self.con} expects {arity} arguments, "
-                f"got {len(self.args)}"
+                f"constructor {con} expects {arity} arguments, "
+                f"got {len(args)}"
             )
+        return _new_tcon(con, args)
+
+    def __reduce__(self):
+        # Rebuild through the unchecked path: the receiving process may
+        # not have the sender's `declare_constructor` calls replayed.
+        return (tcon_unchecked, (self.con, self.args))
 
 
-@dataclass(frozen=True, repr=False, slots=True)
 class TForall(Type):
     """A universally quantified type ``forall a. A``."""
 
-    var: str
-    body: Type
-    _ftv: "frozenset[str] | None" = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    __slots__ = ("var", "body", "_ftv")
+
+    def __new__(cls, var: str, body: Type) -> "TForall":
+        if INTERNING:
+            key = (var, body)
+            wr = _TFORALL_TABLE.get(key)
+            if wr is not None:
+                t = wr()
+                if t is not None:
+                    return t
+        t = object.__new__(cls)
+        _SETATTR(t, "var", var)
+        _SETATTR(t, "body", body)
+        _SETATTR(t, "_ftv", None)
+        _SETATTR(t, "_hash", hash((var, body)) ^ _H_TFORALL)
+        if INTERNING:
+            ref = _Ref(t, _tforall_remove)
+            ref.key = key
+            _TFORALL_TABLE[key] = ref
+            if _RECENT is not None:
+                _RECENT.append(t)
+        return t
+
+    def __reduce__(self):
+        return (TForall, (self.var, self.body))
+
+
+def _new_tcon(con: str, args: "tuple[Type, ...]") -> TCon:
+    """Intern-aware TCon allocation (arity already validated/waived)."""
+    if INTERNING:
+        key = (con, args)
+        wr = _TCON_TABLE.get(key)
+        if wr is not None:
+            t = wr()
+            if t is not None:
+                return t
+    t = object.__new__(TCon)
+    _SETATTR(t, "con", con)
+    _SETATTR(t, "args", args)
+    _SETATTR(t, "_ftv", None)
+    _SETATTR(t, "_hash", hash((con, args)) ^ _H_TCON)
+    if INTERNING:
+        ref = _Ref(t, _tcon_remove)
+        ref.key = key
+        _TCON_TABLE[key] = ref
+        if _RECENT is not None:
+            _RECENT.append(t)
+    return t
 
 
 # -- convenience builders ----------------------------------------------------
@@ -127,36 +378,22 @@ def tvar(name: str) -> TVar:
     return TVar(name)
 
 
-_TCON_NEW = TCon.__new__
-_TVAR_NEW = TVar.__new__
-_SETATTR = object.__setattr__
+#: Build a ``TVar`` (kept for compatibility; construction *is* the
+#: intern-table lookup now, there is nothing left to bypass -- the alias
+#: just drops the old wrapper frame from hot rebuild loops).
+tvar_unchecked = TVar
 
-
-def tvar_unchecked(name: str) -> TVar:
-    """Build a ``TVar`` bypassing the dataclass ``__init__`` (hot paths)."""
-    t = _TVAR_NEW(TVar)
-    _SETATTR(t, "name", name)
-    return t
-
-
-def tcon_unchecked(con: str, args: tuple[Type, ...]) -> TCon:
-    """Build a ``TCon`` skipping arity validation.
-
-    Internal fast path for code that *rebuilds* nodes whose constructor
-    and arity are already known to be valid (zonking, renaming,
-    substitution) -- the dataclass ``__init__``/``__post_init__`` pair is
-    measurable on million-node workloads.
-    """
-    t = _TCON_NEW(TCon)
-    _SETATTR(t, "con", con)
-    _SETATTR(t, "args", args)
-    _SETATTR(t, "_ftv", None)
-    return t
+#: Build a ``TCon`` skipping arity validation.  Fast path for code that
+#: *rebuilds* nodes whose constructor and arity are already known to be
+#: valid (zonking, renaming, substitution) -- and the pickle boundary,
+#: where the receiving process may not know a dynamically declared
+#: constructor.
+tcon_unchecked = _new_tcon
 
 
 def arrow(domain: Type, codomain: Type) -> TCon:
     """The function type ``domain -> codomain``."""
-    return TCon(ARROW, (domain, codomain))
+    return _new_tcon(ARROW, (domain, codomain))
 
 
 def arrows(*types: Type) -> Type:
@@ -171,11 +408,11 @@ def arrows(*types: Type) -> Type:
 
 def product(left: Type, right: Type) -> TCon:
     """The product type ``left × right``."""
-    return TCon(PRODUCT, (left, right))
+    return _new_tcon(PRODUCT, (left, right))
 
 
 def list_of(elem: Type) -> TCon:
-    return TCon("List", (elem,))
+    return _new_tcon("List", (elem,))
 
 
 def forall(names: Iterable[str] | str, body: Type) -> Type:
@@ -189,7 +426,8 @@ def forall(names: Iterable[str] | str, body: Type) -> Type:
 
 
 # ---------------------------------------------------------------------------
-# Structural queries
+# Structural queries (iterative: the solver feeds these types nested
+# hundreds of levels deep under production recursion limits)
 # ---------------------------------------------------------------------------
 
 
@@ -202,12 +440,15 @@ def ftv(ty: Type) -> tuple[str, ...]:
     """
     seen: list[str] = []
     seen_set: set[str] = set()
-
-    def walk(t: Type, bound: frozenset[str]) -> None:
+    stack: list[tuple[Type, frozenset[str]]] = [(ty, _EMPTY_FTV)]
+    pop = stack.pop
+    while stack:
+        t, bound = pop()
         if isinstance(t, TVar):
-            if t.name not in bound and t.name not in seen_set:
-                seen.append(t.name)
-                seen_set.add(t.name)
+            name = t.name
+            if name not in bound and name not in seen_set:
+                seen.append(name)
+                seen_set.add(name)
         elif isinstance(t, TCon):
             # Prune subtrees that cannot contribute new names.  Only
             # *peek* at the per-node cache -- computing sets here would
@@ -216,17 +457,15 @@ def ftv(ty: Type) -> tuple[str, ...]:
             if free is not None:
                 if bound:
                     if all(n in seen_set or n in bound for n in free):
-                        return
+                        continue
                 elif free <= seen_set:
-                    return
-            for arg in t.args:
-                walk(arg, bound)
+                    continue
+            for arg in reversed(t.args):
+                stack.append((arg, bound))
         elif isinstance(t, TForall):
-            walk(t.body, bound | {t.var})
+            stack.append((t.body, bound | {t.var}))
         else:  # pragma: no cover - defensive
             raise TypeError(f"not a type: {t!r}")
-
-    walk(ty, frozenset())
     return tuple(seen)
 
 
@@ -237,32 +476,69 @@ def ftv_set(ty: Type) -> frozenset[str]:
     """Free type variables as a set (when order is irrelevant).
 
     The result is memoised on ``TCon``/``TForall`` nodes (types are
-    immutable, so a node's free-variable set never changes), which turns
-    the repeated membership scans in unification's demotion path and in
+    immutable, so a node's free-variable set never changes).  With
+    interning, the cache is *shared by every owner* of a node: one call
+    here warms it for the whole process, which turns the repeated
+    membership scans in unification's demotion path and in
     generalisation into cheap set operations.
     """
     if isinstance(ty, TVar):
         return frozenset((ty.name,))
-    if isinstance(ty, TCon):
-        cached = ty._ftv
-        if cached is None:
-            args = ty.args
+    cached = ty._ftv
+    if cached is not None:
+        return cached
+    if not isinstance(ty, (TCon, TForall)):
+        raise TypeError(f"not a type: {ty!r}")
+    # Iterative post-order: a node is completed (cache written) only
+    # once every non-variable child's cache is warm.
+    stack: list[Type] = [ty]
+    pop = stack.pop
+    push = stack.append
+    while stack:
+        t = stack[-1]
+        if t._ftv is not None:  # shared subtree completed via another path
+            pop()
+            continue
+        if isinstance(t, TCon):
+            pending = False
+            for a in t.args:
+                if type(a) is not TVar and a._ftv is None:
+                    push(a)
+                    pending = True
+            if pending:
+                continue
+            args = t.args
             if not args:
-                cached = _EMPTY_FTV
+                computed = _EMPTY_FTV
             elif len(args) == 1:
-                cached = ftv_set(args[0])
+                a = args[0]
+                computed = (
+                    frozenset((a.name,)) if type(a) is TVar else a._ftv
+                )
             else:
-                cached = frozenset().union(*map(ftv_set, args))
-            object.__setattr__(ty, "_ftv", cached)
-        return cached
-    if isinstance(ty, TForall):
-        cached = ty._ftv
-        if cached is None:
-            body = ftv_set(ty.body)
-            cached = body - {ty.var} if ty.var in body else body
-            object.__setattr__(ty, "_ftv", cached)
-        return cached
-    raise TypeError(f"not a type: {ty!r}")
+                computed = frozenset().union(
+                    *(
+                        frozenset((a.name,)) if type(a) is TVar else a._ftv
+                        for a in args
+                    )
+                )
+            _SETATTR(t, "_ftv", computed)
+            pop()
+        else:  # TForall
+            body = t.body
+            if type(body) is TVar:
+                body_free: frozenset[str] = frozenset((body.name,))
+            else:
+                body_free = body._ftv  # type: ignore[assignment]
+                if body_free is None:
+                    push(body)
+                    continue
+            computed = (
+                body_free - {t.var} if t.var in body_free else body_free
+            )
+            _SETATTR(t, "_ftv", computed)
+            pop()
+    return ty._ftv  # type: ignore[return-value]
 
 
 def ftv_peek(ty: Type) -> frozenset[str] | None:
@@ -281,6 +557,12 @@ def ftv_peek(ty: Type) -> frozenset[str] | None:
     Boundary code that looks at a type once (environment entries at
     ``Var`` lookup, generalisation of a zonked bound type) may compute,
     which warms the cache for every later peek.
+
+    Interning sharpens the invariant's payoff without changing it: the
+    cache lives on the *interned* node, so a peek hits whenever any
+    owner of the structure anywhere in the process computed the set --
+    but a compute still materialises O(subtree) frozensets when cold,
+    so the peek-only rule stands.
     """
     if isinstance(ty, TVar):
         return frozenset((ty.name,))
@@ -299,13 +581,19 @@ def is_monotype(ty: Type) -> bool:
     of kind ``⋆`` is syntactically a monotype but not kind-checkable at
     ``•`` -- kinding questions belong to :mod:`repro.core.wellformed`.
     """
-    if isinstance(ty, TVar):
-        return True
-    if isinstance(ty, TCon):
-        return all(is_monotype(arg) for arg in ty.args)
-    if isinstance(ty, TForall):
-        return False
-    raise TypeError(f"not a type: {ty!r}")
+    stack: list[Type] = [ty]
+    pop = stack.pop
+    while stack:
+        t = pop()
+        if isinstance(t, TVar):
+            continue
+        if isinstance(t, TCon):
+            stack.extend(t.args)
+            continue
+        if isinstance(t, TForall):
+            return False
+        raise TypeError(f"not a type: {t!r}")
+    return True
 
 
 def is_guarded(ty: Type) -> bool:
@@ -403,23 +691,32 @@ def alpha_equal(left: Type, right: Type) -> bool:
 
 def type_size(ty: Type) -> int:
     """Number of AST nodes; handy for benchmarks and fuzz shrinking."""
-    if isinstance(ty, TVar):
-        return 1
-    if isinstance(ty, TCon):
-        return 1 + sum(type_size(arg) for arg in ty.args)
-    if isinstance(ty, TForall):
-        return 1 + type_size(ty.body)
-    raise TypeError(f"not a type: {ty!r}")
+    size = 0
+    stack: list[Type] = [ty]
+    pop = stack.pop
+    while stack:
+        t = pop()
+        size += 1
+        if isinstance(t, TCon):
+            stack.extend(t.args)
+        elif isinstance(t, TForall):
+            stack.append(t.body)
+        elif not isinstance(t, TVar):
+            raise TypeError(f"not a type: {t!r}")
+    return size
 
 
 def subtypes(ty: Type) -> Iterator[Type]:
     """All sub-type expressions, including ``ty`` itself (pre-order)."""
-    yield ty
-    if isinstance(ty, TCon):
-        for arg in ty.args:
-            yield from subtypes(arg)
-    elif isinstance(ty, TForall):
-        yield from subtypes(ty.body)
+    stack: list[Type] = [ty]
+    pop = stack.pop
+    while stack:
+        t = pop()
+        yield t
+        if isinstance(t, TCon):
+            stack.extend(reversed(t.args))
+        elif isinstance(t, TForall):
+            stack.append(t.body)
 
 
 # ---------------------------------------------------------------------------

@@ -39,29 +39,71 @@ from .terms import is_guarded_value
 
 
 def kind_of(env: KindEnv, ty: Type) -> Kind:
-    """The least kind ``K`` with ``env |- ty : K``; raises KindError."""
-    if isinstance(ty, TVar):
-        kind = env.lookup(ty.name)
-        if kind is None:
-            raise KindError(f"unbound type variable: {ty.name}")
-        return kind
-    if isinstance(ty, TCon):
-        arity = constructor_arity(ty.con)
-        if arity is None:
-            raise KindError(f"unknown type constructor: {ty.con}")
-        if arity != len(ty.args):
-            raise KindError(
-                f"constructor {ty.con} expects {arity} arguments, got {len(ty.args)}"
-            )
-        kind = Kind.MONO
-        for arg in ty.args:
-            kind = kind.join(kind_of(env, arg))
-        return kind
-    if isinstance(ty, TForall):
-        body_env = env.remove([ty.var]).extend(ty.var, Kind.MONO)
-        kind_of(body_env, ty.body)  # must be well-formed
-        return Kind.POLY
-    raise TypeError(f"not a type: {ty!r}")
+    """The least kind ``K`` with ``env |- ty : K``; raises KindError.
+
+    Iterative (explicit work stack), so deep quantifier/arrow towers are
+    never bounded by Python's recursion limit.  Quantifier binders are
+    tracked in an overlay multiset rather than by rebuilding the
+    environment per binder: a name in the overlay has kind MONO
+    (``env.remove([var]).extend(var, Kind.MONO)`` in the recursive
+    formulation), everything else defers to ``env``.
+    """
+    binders: dict[str, int] = {}
+    kinds: list[Kind] = []
+    frames: list[tuple] = [("t", ty)]
+    while frames:
+        frame = frames.pop()
+        op = frame[0]
+        if op == "t":
+            t = frame[1]
+            if isinstance(t, TVar):
+                if t.name in binders:
+                    kinds.append(Kind.MONO)
+                    continue
+                kind = env.lookup(t.name)
+                if kind is None:
+                    raise KindError(f"unbound type variable: {t.name}")
+                kinds.append(kind)
+                continue
+            if isinstance(t, TCon):
+                arity = constructor_arity(t.con)
+                if arity is None:
+                    raise KindError(f"unknown type constructor: {t.con}")
+                if arity != len(t.args):
+                    raise KindError(
+                        f"constructor {t.con} expects {arity} arguments, "
+                        f"got {len(t.args)}"
+                    )
+                frames.append(("join", len(t.args)))
+                for arg in reversed(t.args):
+                    frames.append(("t", arg))
+                continue
+            if isinstance(t, TForall):
+                var = t.var
+                binders[var] = binders.get(var, 0) + 1
+                frames.append(("poly", var))
+                frames.append(("t", t.body))  # body must be well-formed
+                continue
+            raise TypeError(f"not a type: {t!r}")
+        if op == "join":
+            n = frame[1]
+            kind = Kind.MONO
+            if n:
+                for k in kinds[-n:]:
+                    kind = kind.join(k)
+                del kinds[-n:]
+            kinds.append(kind)
+            continue
+        # op == "poly": close the binder scope; the body's own kind is
+        # irrelevant -- a quantified type has kind POLY.
+        var = frame[1]
+        count = binders[var] - 1
+        if count:
+            binders[var] = count
+        else:
+            del binders[var]
+        kinds[-1] = Kind.POLY
+    return kinds[-1]
 
 
 def check_kind(env: KindEnv, ty: Type, kind: Kind) -> None:

@@ -134,31 +134,44 @@ class MLInferencer:
         state._record(name, zty)
 
     def _unify(self, left: Type, right: Type, depth: int = 0) -> None:
+        # Iterative worklist (no quantifier cases in ML, so no scope
+        # frames): depth is carried per pair, bounded by the budget's
+        # ``max_depth`` only, never Python's recursion limit.  With
+        # interned nodes ``left is right`` covers every structurally
+        # equal pair, including shared closed subtrees.
         state = self._state
-        if state.fuel is not None:
-            state.spend()
         max_depth = state.max_depth
-        if max_depth is not None and depth >= max_depth:
-            raise DepthExceededError(max_depth)
-        left = self._prune(left)
-        right = self._prune(right)
-        if left is right:
-            return
-        if isinstance(left, TVar) and isinstance(right, TVar) and left.name == right.name:
-            return
-        if isinstance(left, TVar) and left.name not in self.fixed:
-            self._bind(left.name, right)
-            return
-        if isinstance(right, TVar) and right.name not in self.fixed:
-            self._bind(right.name, left)
-            return
-        if isinstance(left, TCon) and isinstance(right, TCon):
-            if left.con != right.con or len(left.args) != len(right.args):
-                raise MLTypeError(f"cannot unify `{left}` with `{right}`")
-            for l_arg, r_arg in zip(left.args, right.args):
-                self._unify(l_arg, r_arg, depth + 1)
-            return
-        raise MLTypeError(f"cannot unify `{left}` with `{right}`")
+        stack: list[tuple[Type, Type, int]] = [(left, right, depth)]
+        while stack:
+            left, right, depth = stack.pop()
+            if state.fuel is not None:
+                state.spend()
+            if max_depth is not None and depth >= max_depth:
+                raise DepthExceededError(max_depth)
+            left = self._prune(left)
+            right = self._prune(right)
+            if left is right:
+                continue
+            if (
+                isinstance(left, TVar)
+                and isinstance(right, TVar)
+                and left.name == right.name
+            ):
+                continue
+            if isinstance(left, TVar) and left.name not in self.fixed:
+                self._bind(left.name, right)
+                continue
+            if isinstance(right, TVar) and right.name not in self.fixed:
+                self._bind(right.name, left)
+                continue
+            if isinstance(left, TCon) and isinstance(right, TCon):
+                if left.con != right.con or len(left.args) != len(right.args):
+                    raise MLTypeError(f"cannot unify `{left}` with `{right}`")
+                child_depth = depth + 1
+                for pair in zip(reversed(left.args), reversed(right.args)):
+                    stack.append((pair[0], pair[1], child_depth))
+                continue
+            raise MLTypeError(f"cannot unify `{left}` with `{right}`")
 
     # -- Algorithm W ---------------------------------------------------------
 

@@ -364,6 +364,99 @@ class TestBenchCommand:
 
         assert "benchmarks/bench_env_scaling.py" in BENCH_DEFAULT_SUITES
 
+    def test_suite_filter_selects_named_modules(self):
+        from repro.cli import build_bench_command
+
+        cmd, output = build_bench_command(
+            ["--suite=solver,unification"], python="py"
+        )
+        assert output == "BENCH_solver.json"
+        assert cmd[4:-1] == [
+            "benchmarks/bench_solver.py",
+            "benchmarks/bench_unification.py",
+        ]
+
+    def test_suite_filter_normalises_entry_spellings(self):
+        from repro.cli import bench_suite_name
+
+        assert bench_suite_name("solver") == "solver"
+        assert bench_suite_name("bench_solver") == "solver"
+        assert bench_suite_name("bench_solver.py") == "solver"
+        assert bench_suite_name("benchmarks/bench_solver.py") == "solver"
+
+    def test_suite_conflicts_with_all(self):
+        from repro.cli import run_bench
+
+        assert run_bench(["--all", "--suite=solver"]) == 2
+
+    def test_unknown_suite_is_a_usage_error(self):
+        from repro.cli import run_bench
+
+        assert run_bench(["--suite=does_not_exist"]) == 2
+
+    def test_group_filter_is_exported_to_the_pytest_subprocess(
+        self, monkeypatch, tmp_path
+    ):
+        import subprocess
+
+        from repro import cli
+
+        seen = {}
+
+        def fake_call(cmd, cwd=None, env=None):
+            seen["env"] = env
+            return 0
+
+        monkeypatch.setattr(subprocess, "call", fake_call)
+        assert cli.run_bench(["--quick", "--group=unify-*,solver-*"]) == 0
+        assert seen["env"]["REPRO_BENCH_GROUPS"] == "unify-*,solver-*"
+
+    def test_group_filter_deselects_other_groups(self, monkeypatch):
+        """The conftest hook keeps only matching benchmark groups."""
+        import fnmatch
+
+        monkeypatch.setenv("REPRO_BENCH_GROUPS", "unify-path*")
+
+        import importlib.util
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest_under_test", root / "benchmarks" / "conftest.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+
+        class FakeMarker:
+            def __init__(self, group):
+                self.kwargs = {"group": group}
+
+        class FakeItem:
+            def __init__(self, group):
+                self._m = FakeMarker(group) if group is not None else None
+
+            def get_closest_marker(self, name):
+                return self._m
+
+        class FakeHook:
+            def __init__(self):
+                self.deselected = []
+
+            def pytest_deselected(self, items):
+                self.deselected.extend(items)
+
+        class FakeConfig:
+            hook = FakeHook()
+
+        keep = FakeItem("unify-pathological")
+        drop_group = FakeItem("serve-latency")
+        drop_unmarked = FakeItem(None)
+        items = [keep, drop_group, drop_unmarked]
+        config = FakeConfig()
+        mod.pytest_collection_modifyitems(config, items)
+        assert items == [keep]
+        assert set(config.hook.deselected) == {drop_group, drop_unmarked}
+
     def test_compare_rejects_quick_mode(self):
         from repro.cli import run_bench
 
